@@ -1,0 +1,28 @@
+//! Brute-force exact nearest neighbor — the recall ground truth and the
+//! `Ω(n)`-query-time end of the trade-off spectrum.
+
+use pg_metric::{Dataset, Metric};
+
+/// Exact nearest neighbor by linear scan. Returns `(id, distance,
+/// distance_computations)`; the last component is always `n`.
+pub fn brute_force_nn<P, M: Metric<P>>(data: &Dataset<P, M>, q: &P) -> (u32, f64, u64) {
+    let (id, d) = data.nearest_brute(q);
+    (id as u32, d, data.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::{Counting, Euclidean};
+
+    #[test]
+    fn brute_force_cost_is_n() {
+        let pts: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::new(pts, Counting::new(Euclidean));
+        let (id, d, comps) = brute_force_nn(&ds, &vec![7.4]);
+        assert_eq!(id, 7);
+        assert!((d - 0.4).abs() < 1e-12);
+        assert_eq!(comps, 25);
+        assert_eq!(ds.metric().count(), 25);
+    }
+}

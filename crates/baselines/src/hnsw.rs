@@ -1,0 +1,488 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin \[22\]) —
+//! the dominant practical proximity-graph index, reimplemented from scratch
+//! as the empirical baseline of the comparison experiments.
+//!
+//! Standard construction: every point draws a top level from a geometric
+//! distribution (`l = floor(-ln U * mL)`, `mL = 1/ln M`); insertion descends
+//! greedily to its top level, then runs an `ef_construction`-wide beam on
+//! each level downwards, connecting to the `M` selected neighbors (simple
+//! nearest selection or the distance-diversifying heuristic) with
+//! bidirectional edges and degree capping (`M_max`, `2M` on the ground
+//! layer).
+
+use pg_core::Graph;
+use pg_metric::{Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// HNSW construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswParams {
+    /// Connectivity `M` (selected neighbors per insertion per layer).
+    pub m: usize,
+    /// Construction beam width `ef_construction`.
+    pub ef_construction: usize,
+    /// RNG seed (level draws).
+    pub seed: u64,
+    /// Use the neighbor-diversification heuristic (Algorithm 4 of \[22\])
+    /// instead of plain nearest selection.
+    pub heuristic: bool,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 12,
+            ef_construction: 64,
+            seed: 0x45B0,
+            heuristic: true,
+        }
+    }
+}
+
+/// A built HNSW index: per-layer graphs plus the entry point.
+#[derive(Debug, Clone)]
+pub struct Hnsw {
+    /// Layer adjacency (layer 0 = ground layer containing all points).
+    layers: Vec<Vec<Vec<u32>>>,
+    /// Top level of each point (`level[p] = l` means `p` exists on layers
+    /// `0..=l`).
+    levels: Vec<usize>,
+    /// Entry point (a point on the top layer).
+    entry: u32,
+    params: HnswParams,
+}
+
+#[derive(PartialEq)]
+struct C(f64, u32);
+impl Eq for C {}
+impl PartialOrd for C {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for C {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl Hnsw {
+    /// Builds the index by sequential insertion.
+    pub fn build<P, M: Metric<P>>(data: &Dataset<P, M>, params: HnswParams) -> Self {
+        let n = data.len();
+        assert!(n >= 1);
+        let ml = 1.0 / (params.m as f64).ln();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random_range(1e-12..1.0);
+                ((-u.ln()) * ml).floor() as usize
+            })
+            .collect();
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        let mut layers: Vec<Vec<Vec<u32>>> = (0..=max_level).map(|_| vec![Vec::new(); n]).collect();
+
+        let mut index = Hnsw {
+            layers: Vec::new(),
+            levels: levels.clone(),
+            entry: 0,
+            params,
+        };
+
+        // Insert points one by one (point 0 bootstraps as entry).
+        let mut entry = 0u32;
+        let mut entry_level = levels[0];
+        for p in 1..n {
+            let p_level = levels[p];
+            let q = data.point(p);
+            let mut cur = entry;
+            // Greedy descent through layers above p's top level.
+            let mut lvl = entry_level;
+            while lvl > p_level {
+                cur = greedy_layer(data, &layers[lvl], cur, q);
+                lvl -= 1;
+            }
+            // Beam insertion from min(entry_level, p_level) down to 0.
+            let start_lvl = p_level.min(entry_level);
+            let mut eps = vec![cur];
+            for l in (0..=start_lvl).rev() {
+                let found = search_layer(data, &layers[l], &eps, q, params.ef_construction);
+                let m_max = if l == 0 { 2 * params.m } else { params.m };
+                let selected = if params.heuristic {
+                    select_heuristic(data, p, &found, params.m)
+                } else {
+                    found.iter().take(params.m).map(|&(_, v)| v).collect()
+                };
+                for &u in &selected {
+                    layers[l][p].push(u);
+                    layers[l][u as usize].push(p as u32);
+                    if layers[l][u as usize].len() > m_max {
+                        shrink(data, &mut layers[l], u as usize, m_max, params.heuristic);
+                    }
+                }
+                if layers[l][p].len() > m_max {
+                    shrink(data, &mut layers[l], p, m_max, params.heuristic);
+                }
+                eps = found.iter().map(|&(_, v)| v).collect();
+            }
+            if p_level > entry_level {
+                entry = p as u32;
+                entry_level = p_level;
+            }
+        }
+
+        index.layers = layers;
+        index.entry = entry;
+        index
+    }
+
+    /// Searches for the `k` nearest neighbors with beam width `ef`.
+    /// Returns results ascending by distance and the distance-computation
+    /// count (when `data`'s metric is wrapped in `Counting`, both agree).
+    pub fn search<P, M: Metric<P>>(
+        &self,
+        data: &Dataset<P, M>,
+        q: &P,
+        ef: usize,
+        k: usize,
+    ) -> (Vec<(u32, f64)>, u64) {
+        let mut comps: u64 = 0;
+        let mut cur = self.entry;
+        for lvl in (1..self.layers.len()).rev() {
+            cur = greedy_layer_counting(data, &self.layers[lvl], cur, q, &mut comps);
+        }
+        let (found, c) = search_layer_counting(data, &self.layers[0], &[cur], q, ef.max(k));
+        comps += c;
+        let mut out: Vec<(u32, f64)> = found.into_iter().map(|(d, v)| (v, d)).collect();
+        out.truncate(k);
+        (out, comps)
+    }
+
+    /// The ground layer as an immutable [`Graph`] (for degree statistics
+    /// and for routing with the paper's plain `greedy`).
+    pub fn ground_layer(&self) -> Graph {
+        Graph::from_adjacency(self.layers[0].clone())
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total directed edges across all layers.
+    pub fn total_edges(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.iter().map(|nb| nb.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// The entry point id.
+    pub fn entry_point(&self) -> u32 {
+        self.entry
+    }
+
+    /// Top level of point `p`.
+    pub fn level_of(&self, p: usize) -> usize {
+        self.levels[p]
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+}
+
+/// Greedy hill descent on one layer (ef = 1).
+fn greedy_layer<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    layer: &[Vec<u32>],
+    start: u32,
+    q: &P,
+) -> u32 {
+    let mut comps = 0u64;
+    greedy_layer_counting(data, layer, start, q, &mut comps)
+}
+
+fn greedy_layer_counting<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    layer: &[Vec<u32>],
+    start: u32,
+    q: &P,
+    comps: &mut u64,
+) -> u32 {
+    let mut cur = start;
+    *comps += 1;
+    let mut d_cur = data.dist_to(cur as usize, q);
+    loop {
+        let mut improved = false;
+        for &nb in &layer[cur as usize] {
+            *comps += 1;
+            let d = data.dist_to(nb as usize, q);
+            if d < d_cur {
+                cur = nb;
+                d_cur = d;
+                improved = true;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// `SEARCH-LAYER` of \[22\]: beam of width `ef` from the given entry points.
+/// Returns `(dist, id)` ascending.
+fn search_layer<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    layer: &[Vec<u32>],
+    entries: &[u32],
+    q: &P,
+    ef: usize,
+) -> Vec<(f64, u32)> {
+    search_layer_counting(data, layer, entries, q, ef).0
+}
+
+fn search_layer_counting<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    layer: &[Vec<u32>],
+    entries: &[u32],
+    q: &P,
+    ef: usize,
+) -> (Vec<(f64, u32)>, u64) {
+    let mut comps = 0u64;
+    let mut visited = vec![false; data.len()];
+    let mut frontier: BinaryHeap<Reverse<C>> = BinaryHeap::new();
+    let mut results: BinaryHeap<C> = BinaryHeap::new();
+    for &e in entries {
+        if visited[e as usize] {
+            continue;
+        }
+        visited[e as usize] = true;
+        comps += 1;
+        let d = data.dist_to(e as usize, q);
+        frontier.push(Reverse(C(d, e)));
+        results.push(C(d, e));
+        if results.len() > ef {
+            results.pop();
+        }
+    }
+    while let Some(Reverse(C(d, v))) = frontier.pop() {
+        let worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
+        if results.len() >= ef && d > worst {
+            break;
+        }
+        for &nb in &layer[v as usize] {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            comps += 1;
+            let dn = data.dist_to(nb as usize, q);
+            let worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
+            if results.len() < ef || dn < worst {
+                frontier.push(Reverse(C(dn, nb)));
+                results.push(C(dn, nb));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+    }
+    let mut out: Vec<(f64, u32)> = results.into_iter().map(|C(d, v)| (d, v)).collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    (out, comps)
+}
+
+/// `SELECT-NEIGHBORS-HEURISTIC` of \[22\]: keep a candidate only if it is
+/// closer to the base point than to every already selected neighbor
+/// (diversifies directions, echoing the α-pruning idea).
+fn select_heuristic<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    p: usize,
+    candidates: &[(f64, u32)],
+    m: usize,
+) -> Vec<u32> {
+    let mut selected: Vec<u32> = Vec::with_capacity(m);
+    for &(d, v) in candidates {
+        if selected.len() >= m {
+            break;
+        }
+        if v as usize == p {
+            continue;
+        }
+        let diverse = selected
+            .iter()
+            .all(|&u| data.dist(u as usize, v as usize) > d);
+        if diverse {
+            selected.push(v);
+        }
+    }
+    // Backfill with nearest skipped candidates if under-full.
+    if selected.len() < m {
+        for &(_, v) in candidates {
+            if selected.len() >= m {
+                break;
+            }
+            if v as usize != p && !selected.contains(&v) {
+                selected.push(v);
+            }
+        }
+    }
+    selected
+}
+
+/// Re-prunes a vertex's adjacency down to `m_max`.
+fn shrink<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    layer: &mut [Vec<u32>],
+    u: usize,
+    m_max: usize,
+    heuristic: bool,
+) {
+    let mut cands: Vec<(f64, u32)> = layer[u]
+        .iter()
+        .map(|&v| (data.dist(u, v as usize), v))
+        .collect();
+    cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    cands.dedup_by_key(|c| c.1);
+    layer[u] = if heuristic {
+        select_heuristic(data, u, &cands, m_max)
+    } else {
+        cands.into_iter().take(m_max).map(|(_, v)| v).collect()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::{Counting, Euclidean};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(
+            (0..n)
+                .map(|_| (0..d).map(|_| rng.random_range(0.0..30.0)).collect())
+                .collect(),
+            Euclidean,
+        )
+    }
+
+    #[test]
+    fn recall_at_1_is_high() {
+        let ds = random_dataset(400, 2, 1);
+        let h = Hnsw::build(&ds, HnswParams::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = 0;
+        let trials = 60;
+        for _ in 0..trials {
+            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let (exact, _) = ds.nearest_brute(&q);
+            let (res, _) = h.search(&ds, &q, 48, 1);
+            if res[0].0 as usize == exact {
+                hits += 1;
+            }
+        }
+        assert!(hits * 100 >= trials * 92, "recall too low: {hits}/{trials}");
+    }
+
+    #[test]
+    fn knn_results_are_sorted_and_exactish() {
+        let ds = random_dataset(300, 3, 2);
+        let h = Hnsw::build(&ds, HnswParams::default());
+        let q = vec![10.0, 10.0, 10.0];
+        let (res, _) = h.search(&ds, &q, 64, 5);
+        assert_eq!(res.len(), 5);
+        assert!(res.windows(2).all(|w| w[0].1 <= w[1].1));
+        let brute = ds.k_nearest_brute(&q, 5);
+        // At ef = 64 on 300 points, expect at least 4/5 overlap.
+        let overlap = res
+            .iter()
+            .filter(|(v, _)| brute.iter().any(|&(b, _)| b == *v as usize))
+            .count();
+        assert!(overlap >= 4, "only {overlap}/5 of true 5-NN found");
+    }
+
+    #[test]
+    fn search_cost_is_sublinear() {
+        let ds = random_dataset(2000, 2, 3);
+        let counted = Dataset::new(ds.points().to_vec(), Counting::new(Euclidean));
+        let h = Hnsw::build(&counted, HnswParams::default());
+        counted.metric().reset();
+        let (_, reported) = h.search(&counted, &vec![15.0, 15.0], 32, 1);
+        let actual = counted.metric().count();
+        assert_eq!(reported, actual, "distance accounting must be exact");
+        assert!(
+            actual < 2000 / 2,
+            "HNSW search used {actual} distances on n = 2000"
+        );
+    }
+
+    #[test]
+    fn layer_sizes_decay_geometrically() {
+        let ds = random_dataset(1000, 2, 4);
+        let h = Hnsw::build(&ds, HnswParams::default());
+        assert!(h.layer_count() >= 2, "expected multiple layers");
+        // Count points per level.
+        let mut counts = vec![0usize; h.layer_count()];
+        for p in 0..1000 {
+            let top = h.level_of(p).min(h.layer_count() - 1);
+            for c in counts.iter_mut().take(top + 1) {
+                *c += 1;
+            }
+        }
+        assert_eq!(counts[0], 1000);
+        assert!(
+            counts[1] < 1000 / 4,
+            "layer 1 holds {} points, expected ~1/M",
+            counts[1]
+        );
+    }
+
+    #[test]
+    fn ground_layer_degrees_are_capped() {
+        let params = HnswParams::default();
+        let ds = random_dataset(500, 2, 5);
+        let h = Hnsw::build(&ds, params);
+        let g = h.ground_layer();
+        assert!(g.max_out_degree() <= 2 * params.m);
+        assert_eq!(g.sink_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = random_dataset(200, 2, 6);
+        let a = Hnsw::build(&ds, HnswParams::default());
+        let b = Hnsw::build(&ds, HnswParams::default());
+        assert_eq!(a.ground_layer(), b.ground_layer());
+        assert_eq!(a.entry_point(), b.entry_point());
+    }
+
+    #[test]
+    fn simple_selection_variant_also_works() {
+        let ds = random_dataset(300, 2, 7);
+        let h = Hnsw::build(
+            &ds,
+            HnswParams {
+                heuristic: false,
+                ..HnswParams::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut hits = 0;
+        for _ in 0..30 {
+            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let (exact, _) = ds.nearest_brute(&q);
+            let (res, _) = h.search(&ds, &q, 48, 1);
+            if res[0].0 as usize == exact {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 26, "simple-selection recall too low: {hits}/30");
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline ANN indexes the paper positions itself against (Section 1.2),
+//! implemented from scratch:
+//!
+//! * [`mod@diskann`] — the **slow-preprocessing DiskANN** (α-pruned graph) that
+//!   Indyk–Xu \[18\] showed to be the only popular proximity graph with
+//!   non-trivial worst-case guarantees (`O(n^3)`-ish construction,
+//!   `(α+1)/(α-1)`-navigability), plus the practical **Vamana** heuristic
+//!   (random graph + two α-robust-prune passes) used by DiskANN in practice;
+//! * [`mod@hnsw`] — Hierarchical Navigable Small World graphs \[22\], the dominant
+//!   practical proximity-graph index;
+//! * [`mod@nsw`] — the flat small-world predecessor \[21\];
+//! * [`mod@brute`] — exact brute-force search, the recall ground truth.
+//!
+//! All constructions emit [`pg_core::Graph`]s (HNSW additionally keeps its
+//! layer stack), so the comparison experiments can route queries through the
+//! exact same `greedy`/beam code paths and count distance computations with
+//! the same instrumentation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod brute;
+pub mod diskann;
+pub mod hnsw;
+pub mod nsw;
+
+pub use brute::brute_force_nn;
+pub use diskann::{slow_preprocessing, vamana, VamanaParams};
+pub use hnsw::{Hnsw, HnswParams};
+pub use nsw::{nsw, NswParams};

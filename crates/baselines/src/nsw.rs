@@ -1,0 +1,163 @@
+//! Navigable Small World graphs (Malkov et al. \[21\]) — the flat,
+//! single-layer predecessor of HNSW: points are inserted in random order and
+//! bidirectionally connected to the `M` nearest results of a beam search
+//! over the graph built so far.
+
+use pg_core::Graph;
+use pg_metric::{Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// NSW construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NswParams {
+    /// Bidirectional connections per insertion.
+    pub m: usize,
+    /// Construction beam width.
+    pub ef_construction: usize,
+    /// RNG seed (insertion order).
+    pub seed: u64,
+}
+
+impl Default for NswParams {
+    fn default() -> Self {
+        NswParams {
+            m: 10,
+            ef_construction: 48,
+            seed: 0x0115,
+        }
+    }
+}
+
+/// Builds an NSW graph.
+pub fn nsw<P, M: Metric<P>>(data: &Dataset<P, M>, params: NswParams) -> Graph {
+    let n = data.len();
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut inserted: Vec<u32> = Vec::with_capacity(n);
+    for &p in &order {
+        if inserted.is_empty() {
+            inserted.push(p as u32);
+            continue;
+        }
+        let entry = inserted[0];
+        let found = beam(data, &adj, entry, data.point(p), params.ef_construction);
+        for &(_, v) in found.iter().take(params.m) {
+            adj[p].push(v);
+            adj[v as usize].push(p as u32);
+        }
+        inserted.push(p as u32);
+    }
+    Graph::from_adjacency(adj)
+}
+
+#[derive(PartialEq)]
+struct C(f64, u32);
+impl Eq for C {}
+impl PartialOrd for C {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for C {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+fn beam<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    adj: &[Vec<u32>],
+    start: u32,
+    q: &P,
+    ef: usize,
+) -> Vec<(f64, u32)> {
+    let mut visited = vec![false; data.len()];
+    visited[start as usize] = true;
+    let d0 = data.dist_to(start as usize, q);
+    let mut frontier = BinaryHeap::new();
+    let mut results: BinaryHeap<C> = BinaryHeap::new();
+    frontier.push(Reverse(C(d0, start)));
+    results.push(C(d0, start));
+    while let Some(Reverse(C(d, v))) = frontier.pop() {
+        let worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
+        if results.len() >= ef && d > worst {
+            break;
+        }
+        for &nb in &adj[v as usize] {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            let dn = data.dist_to(nb as usize, q);
+            let worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
+            if results.len() < ef || dn < worst {
+                frontier.push(Reverse(C(dn, nb)));
+                results.push(C(dn, nb));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+    }
+    let mut out: Vec<(f64, u32)> = results.into_iter().map(|C(d, v)| (d, v)).collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::Euclidean;
+    use rand::RngExt;
+
+    fn random_dataset(n: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(
+            (0..n)
+                .map(|_| vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)])
+                .collect(),
+            Euclidean,
+        )
+    }
+
+    #[test]
+    fn nsw_recall_is_reasonable() {
+        let ds = random_dataset(300, 1);
+        let g = nsw(&ds, NswParams::default());
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut hits = 0;
+        let trials = 40;
+        for _ in 0..trials {
+            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let (exact, _) = ds.nearest_brute(&q);
+            let (res, _) = pg_core::beam_search(&g, &ds, 0, &q, 32, 1);
+            if res[0].0 as usize == exact {
+                hits += 1;
+            }
+        }
+        assert!(hits * 100 >= trials * 85, "recall too low: {hits}/{trials}");
+    }
+
+    #[test]
+    fn nsw_graph_is_connected_enough() {
+        let ds = random_dataset(200, 2);
+        let g = nsw(&ds, NswParams::default());
+        assert_eq!(g.sink_count(), 0);
+        // Undirected-style construction: every vertex has >= m/2 edges.
+        assert!(g.avg_out_degree() >= NswParams::default().m as f64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = random_dataset(150, 3);
+        assert_eq!(nsw(&ds, NswParams::default()), nsw(&ds, NswParams::default()));
+    }
+}

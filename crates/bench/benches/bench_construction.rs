@@ -1,0 +1,48 @@
+//! Criterion wall-clock benchmarks for index construction (complements
+//! exp_t11_build, which counts distance computations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_baselines::{nsw, slow_preprocessing, vamana, Hnsw, HnswParams, NswParams, VamanaParams};
+use pg_core::GNet;
+use pg_metric::{Dataset, Euclidean};
+use pg_workloads as workloads;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for n in [1000usize, 4000] {
+        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 3);
+        let data = Dataset::new(pts, Euclidean);
+
+        group.bench_with_input(BenchmarkId::new("gnet_fast", n), &n, |b, _| {
+            b.iter(|| black_box(GNet::build_fast(&data, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("gnet_covertree", n), &n, |b, _| {
+            b.iter(|| black_box(GNet::build_covertree(&data, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("gnet_naive", n), &n, |b, _| {
+            b.iter(|| black_box(GNet::build_naive(&data, 1.0)))
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("diskann_slow", n), &n, |b, _| {
+                b.iter(|| black_box(slow_preprocessing(&data, 3.0)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("vamana", n), &n, |b, _| {
+            b.iter(|| black_box(vamana(&data, VamanaParams::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("hnsw", n), &n, |b, _| {
+            b.iter(|| black_box(Hnsw::build(&data, HnswParams::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("nsw", n), &n, |b, _| {
+            b.iter(|| black_box(nsw(&data, NswParams::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction);
+criterion_main!(benches);

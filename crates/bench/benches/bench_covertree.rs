@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the dynamic cover tree (the Section 2.4
+//! substrate): bulk build, point queries, and the delete/restore cycle the
+//! paper's `build` performs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_covertree::CoverTree;
+use pg_metric::{Dataset, Euclidean};
+use pg_workloads as workloads;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn covertree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covertree");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [1000usize, 8000] {
+        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 5);
+        let data = Dataset::new(pts, Euclidean);
+
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(CoverTree::build_all(&data)))
+        });
+
+        let tree = CoverTree::build_all(&data);
+        let queries = workloads::uniform_queries(64, 2, 0.0, (n as f64).sqrt() * 4.0, 6);
+
+        group.bench_with_input(BenchmarkId::new("nearest_exact", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.nearest(q))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ann_2", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.ann(q, 2.0))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("knn_10", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                black_box(tree.k_nearest(q, 10))
+            })
+        });
+    }
+
+    // The Section 2.4 retrieval pattern: 2-ANN, delete, ..., restore.
+    let n = 4000usize;
+    let pts = workloads::uniform_cube(n, 2, 260.0, 7);
+    let data = Dataset::new(pts, Euclidean);
+    let mut tree = CoverTree::build_all(&data);
+    group.bench_function("sec24_retrieval_cycle", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = data.point(i % n).clone();
+            i += 1;
+            let mut deleted = Vec::new();
+            for _ in 0..8 {
+                let Some((y, _)) = tree.ann(&q, 2.0) else { break };
+                tree.remove(y);
+                deleted.push(y);
+            }
+            for y in deleted {
+                tree.restore(y);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, covertree);
+criterion_main!(benches);

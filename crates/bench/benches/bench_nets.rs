@@ -1,0 +1,44 @@
+//! Criterion benchmarks for net construction: the near-linear hierarchical
+//! builder (Har-Peled–Mendel substitute) vs the quadratic greedy reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_metric::{Dataset, Euclidean};
+use pg_nets::{greedy_net, independent_hierarchy, NetHierarchy};
+use pg_workloads as workloads;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn nets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nets");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [1000usize, 8000] {
+        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 11);
+        let data = Dataset::new(pts, Euclidean);
+
+        group.bench_with_input(BenchmarkId::new("hierarchy_fast", n), &n, |b, _| {
+            b.iter(|| black_box(NetHierarchy::build(&data)))
+        });
+
+        if n <= 1000 {
+            group.bench_with_input(
+                BenchmarkId::new("hierarchy_greedy_quadratic", n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let (dmin, dmax) = (0.5, (n as f64).sqrt() * 8.0);
+                        black_box(independent_hierarchy(&data, dmax, dmin))
+                    })
+                },
+            );
+            let ids: Vec<u32> = (0..n as u32).collect();
+            group.bench_with_input(BenchmarkId::new("single_greedy_net", n), &n, |b, _| {
+                b.iter(|| black_box(greedy_net(&data, &ids, 8.0)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nets);
+criterion_main!(benches);

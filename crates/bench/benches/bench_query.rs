@@ -1,0 +1,69 @@
+//! Criterion wall-clock benchmarks for query routing (complements
+//! exp_t11_query / exp_t13_query, which count distance computations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_baselines::{Hnsw, HnswParams};
+use pg_core::{beam_search, greedy, GNet, MergedGraph, MergedParams};
+use pg_metric::{Dataset, Euclidean};
+use pg_workloads as workloads;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn query(c: &mut Criterion) {
+    let n = 8000usize;
+    let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 9);
+    let data = Dataset::new(pts, Euclidean);
+    let queries = workloads::uniform_queries(64, 2, 0.0, (n as f64).sqrt() * 4.0, 10);
+
+    let gnet = GNet::build_fast(&data, 1.0);
+    let merged = MergedGraph::build(&data, MergedParams::new(1.0));
+    let hnsw = Hnsw::build(&data, HnswParams::default());
+
+    let mut group = c.benchmark_group("query_n8000");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("greedy_gnet", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(greedy(&gnet.graph, &data, ((i * 131) % n) as u32, q))
+        })
+    });
+    group.bench_function(BenchmarkId::new("greedy_merged", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(greedy(&merged.graph, &data, ((i * 131) % n) as u32, q))
+        })
+    });
+    group.bench_function(BenchmarkId::new("beam16_gnet", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(beam_search(&gnet.graph, &data, 0, q, 16, 1))
+        })
+    });
+    group.bench_function(BenchmarkId::new("hnsw_ef16", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(hnsw.search(&data, q, 16, 1))
+        })
+    });
+    group.bench_function(BenchmarkId::new("brute_force", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            black_box(data.nearest_brute(q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, query);
+criterion_main!(benches);

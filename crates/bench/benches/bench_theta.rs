@@ -1,0 +1,38 @@
+//! Criterion benchmarks for θ-graph construction: the 2-d dominance sweep
+//! (near-linear, the [5,25] substitute) vs the pairwise reference, and the
+//! d = 3 grid-snap pairwise builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_core::ThetaGraph;
+use pg_metric::{Dataset, Euclidean};
+use pg_workloads as workloads;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn theta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [1000usize, 8000] {
+        let pts = workloads::uniform_cube(n, 2, 100.0, 13);
+        let data = Dataset::new(pts, Euclidean);
+        group.bench_with_input(BenchmarkId::new("sweep_2d_theta_0.25", n), &n, |b, _| {
+            b.iter(|| black_box(ThetaGraph::build(&data, 0.25)))
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("pairwise_2d_theta_0.25", n), &n, |b, _| {
+                b.iter(|| black_box(ThetaGraph::build_naive(&data, 0.25)))
+            });
+        }
+    }
+
+    let pts = workloads::uniform_cube(2000, 3, 100.0, 14);
+    let data3 = Dataset::new(pts, Euclidean);
+    group.bench_function("pairwise_3d_theta_0.5_n2000", |b| {
+        b.iter(|| black_box(ThetaGraph::build(&data3, 0.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, theta);
+criterion_main!(benches);

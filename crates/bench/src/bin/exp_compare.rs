@@ -1,0 +1,166 @@
+//! **Experiment CMP** — end-to-end comparison across every index in the
+//! workspace on the standard workload suite: construction cost (distance
+//! computations — the paper's model — and seconds), size, query cost and
+//! recall@1.
+//!
+//! Run: `cargo run --release -p pg-bench --bin exp_compare [--full]`
+
+use std::time::Instant;
+
+use pg_baselines::{nsw, slow_preprocessing, vamana, Hnsw, HnswParams, NswParams, VamanaParams};
+use pg_bench::{fmt, full_mode, Table};
+use pg_core::{beam_search, greedy, GNet, Graph, MergedGraph, MergedParams};
+use pg_metric::{Counting, Dataset, Euclidean};
+use pg_workloads as workloads;
+
+fn main() {
+    let n = if full_mode() { 4000 } else { 1200 };
+    println!("# CMP: all indexes on the standard suite (n = {n})\n");
+
+    for (wname, points) in workloads::standard_suite(n, 99) {
+        let dim = points[0].len();
+        let data = Dataset::new(points, Counting::new(Euclidean));
+        let queries = workloads::perturbed_queries(data.points(), 80, 0.5, 17);
+        let truth: Vec<usize> = queries.iter().map(|q| data.nearest_brute(q).0).collect();
+        data.metric().reset();
+
+        println!("## workload: {wname} (d = {dim})\n");
+        let mut table = Table::new(&[
+            "index",
+            "build dists",
+            "build s",
+            "edges",
+            "dists/q",
+            "recall@1",
+            "guarantee",
+        ]);
+
+        let greedy_row =
+            |table: &mut Table, name: &str, g: &Graph, bd: u64, bs: f64, guar: &str| {
+                let mut comps = 0u64;
+                let mut hits = 0usize;
+                for (i, (q, &tr)) in queries.iter().zip(truth.iter()).enumerate() {
+                    let out = greedy(g, &data, ((i * 131) % n) as u32, q);
+                    comps += out.dist_comps;
+                    if out.result as usize == tr {
+                        hits += 1;
+                    }
+                }
+                table.row(vec![
+                    name.into(),
+                    bd.to_string(),
+                    fmt(bs, 2),
+                    g.edge_count().to_string(),
+                    fmt(comps as f64 / queries.len() as f64, 0),
+                    format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
+                    guar.into(),
+                ]);
+            };
+
+        let t0 = Instant::now();
+        let gnet = GNet::build_fast(&data, 1.0);
+        let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+        greedy_row(&mut table, "G_net fast (Thm1.1)", &gnet.graph, bd, bs, "2-ANN any start");
+
+        let t0 = Instant::now();
+        let ct = GNet::build_covertree(&data, 1.0);
+        let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+        greedy_row(&mut table, "G_net Sec2.4 build", &ct.graph, bd, bs, "2-ANN any start");
+
+        let theta = if dim <= 2 { 0.25 } else { 0.7 };
+        let t0 = Instant::now();
+        let merged = MergedGraph::build(&data, MergedParams::new(1.0).with_theta(theta));
+        let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+        greedy_row(&mut table, "merged (Thm1.3)", &merged.graph, bd, bs, "2-ANN any start");
+
+        if n <= 2500 || full_mode() {
+            let t0 = Instant::now();
+            let slow = slow_preprocessing(&data, 3.0);
+            let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+            greedy_row(&mut table, "DiskANN-slow α=3", &slow, bd, bs, "2-ANN any start");
+        }
+
+        let t0 = Instant::now();
+        let vg = vamana(&data, VamanaParams::default());
+        let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+        let mut comps = 0u64;
+        let mut hits = 0usize;
+        for (q, &tr) in queries.iter().zip(truth.iter()) {
+            let (res, c) = beam_search(&vg, &data, 0, q, 12, 1);
+            comps += c;
+            hits += (res[0].0 as usize == tr) as usize;
+        }
+        data.metric().reset();
+        table.row(vec![
+            "Vamana beam12".into(),
+            bd.to_string(),
+            fmt(bs, 2),
+            vg.edge_count().to_string(),
+            fmt(comps as f64 / queries.len() as f64, 0),
+            format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
+            "none".into(),
+        ]);
+
+        let t0 = Instant::now();
+        let ng = nsw(&data, NswParams::default());
+        let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+        let mut comps = 0u64;
+        let mut hits = 0usize;
+        for (q, &tr) in queries.iter().zip(truth.iter()) {
+            let (res, c) = beam_search(&ng, &data, 0, q, 12, 1);
+            comps += c;
+            hits += (res[0].0 as usize == tr) as usize;
+        }
+        data.metric().reset();
+        table.row(vec![
+            "NSW beam12".into(),
+            bd.to_string(),
+            fmt(bs, 2),
+            ng.edge_count().to_string(),
+            fmt(comps as f64 / queries.len() as f64, 0),
+            format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
+            "none".into(),
+        ]);
+
+        let t0 = Instant::now();
+        let h = Hnsw::build(&data, HnswParams::default());
+        let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
+        let mut comps = 0u64;
+        let mut hits = 0usize;
+        for (q, &tr) in queries.iter().zip(truth.iter()) {
+            let (res, c) = h.search(&data, q, 12, 1);
+            comps += c;
+            hits += (res[0].0 as usize == tr) as usize;
+        }
+        data.metric().reset();
+        table.row(vec![
+            "HNSW ef12".into(),
+            bd.to_string(),
+            fmt(bs, 2),
+            h.total_edges().to_string(),
+            fmt(comps as f64 / queries.len() as f64, 0),
+            format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
+            "none".into(),
+        ]);
+
+        table.row(vec![
+            "brute force".into(),
+            "0".into(),
+            "-".into(),
+            "-".into(),
+            n.to_string(),
+            "100.0%".into(),
+            "exact".into(),
+        ]);
+
+        table.print();
+        println!();
+    }
+
+    println!("Reading guide: who wins and why —");
+    println!("* recall: the theory graphs (G_net/merged/DiskANN-slow) guarantee 2-ANN from");
+    println!("  any start; the practical indexes trade that for fewer edges and distances.");
+    println!("* build: G_net-fast is near-linear; DiskANN-slow is the quadratic barrier.");
+    println!("* size: merged < G_net on spread data (Thm 1.3); HNSW/Vamana are smallest");
+    println!("  because they abandon worst-case guarantees (Thm 1.2 explains why they must).");
+}

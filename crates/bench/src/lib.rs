@@ -1,0 +1,156 @@
+//! Shared helpers for the experiment harness: table formatting, log–log
+//! slope fitting, and query-cost measurement.
+//!
+//! Every experiment in DESIGN.md §3 has a binary in `src/bin/` that prints
+//! the corresponding paper-shaped table; `benches/` holds the criterion
+//! wall-clock micro-benchmarks. Binaries accept `--full` for the larger
+//! parameter sweeps recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pg_core::{greedy, Graph};
+use pg_metric::{Dataset, Metric};
+
+/// Ordinary least squares slope of `ln y` against `ln x` — the growth
+/// exponent read off a log–log plot. Requires positive samples.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two samples");
+    let lx: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
+    let mx = lx.iter().sum::<f64>() / lx.len() as f64;
+    let my = ly.iter().sum::<f64>() / ly.len() as f64;
+    let cov: f64 = lx.iter().zip(ly.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+/// Least-squares slope of `y` against `x` (linear scale).
+pub fn linear_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let cov: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+/// Average greedy distance computations and hops over the given queries,
+/// cycling through start vertices. Returns `(avg_dists, avg_hops,
+/// worst_ratio)` where `worst_ratio` is the worst approximation ratio
+/// observed against brute force.
+pub fn measure_greedy<P, M: Metric<P>>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    queries: &[P],
+) -> (f64, f64, f64) {
+    let n = data.len();
+    let mut comps = 0u64;
+    let mut hops = 0usize;
+    let mut worst: f64 = 1.0;
+    for (i, q) in queries.iter().enumerate() {
+        let start = ((i * 2654435761) % n) as u32;
+        let out = greedy(graph, data, start, q);
+        comps += out.dist_comps;
+        hops += out.hops.len();
+        let (_, exact) = data.nearest_brute(q);
+        if exact > 0.0 {
+            worst = worst.max(out.result_dist / exact);
+        } else if out.result_dist > 0.0 {
+            worst = f64::INFINITY;
+        }
+    }
+    (
+        comps as f64 / queries.len() as f64,
+        hops as f64 / queries.len() as f64,
+        worst,
+    )
+}
+
+/// Simple Markdown-ish table printer with right-aligned numeric columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths.iter()) {
+                s.push_str(&format!(" {c:>w$} |"));
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        println!("{sep}");
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// True when the binary was invoked with `--full` (bigger sweeps).
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loglog_slope_recovers_exponents() {
+        let xs = [100.0, 200.0, 400.0, 800.0];
+        let quad: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        let lin: Vec<f64> = xs.iter().map(|x| 5.0 * x).collect();
+        assert!((loglog_slope(&xs, &quad) - 2.0).abs() < 1e-9);
+        assert!((loglog_slope(&xs, &lin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_slope_recovers_coefficient() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.5, 5.0, 7.5, 10.0];
+        assert!((linear_slope(&xs, &ys) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

@@ -1,0 +1,449 @@
+//! `G_net`: the net-based `(1+ε)`-proximity graph of Theorem 1.1.
+//!
+//! Definition (Section 2.1): for each point `p` and each net level `i`,
+//! create an edge `(p, y)` to every net point `y ∈ Y_i` with
+//! `D(p, y) <= φ * r_i`. The resulting graph is `(1+ε)`-navigable
+//! (Lemma 2.2), has `O((1/ε)^λ * n log Δ)` edges (Fact 2.3 packing), and
+//! `greedy` reaches a `(1+ε)`-ANN within `h` hops (the log-drop property).
+//!
+//! Three constructions are provided, all producing **identical** graphs on
+//! the same net hierarchy:
+//!
+//! * [`GNet::build_naive`] — full per-level scans, `O(n * Σ_i |Y_i|)`
+//!   distances; ground truth;
+//! * [`GNet::build`] / [`GNet::build_fast`] — the near-linear path: a
+//!   [`RelativesCascade`] with factor `φ + 1` restricts each point's
+//!   candidate targets at level `i` to the relatives of its covering center,
+//!   a `O(φ^λ)`-size set (Fact 2.3), mirroring the cost analysis of
+//!   Eq. (13);
+//! * [`GNet::build_covertree`] — the Section 2.4 procedure verbatim: a
+//!   dynamic 2-ANN structure (`pg-covertree`) per level, with the retrieval
+//!   of `S` by repeated 2-ANN + delete + restore.
+
+use pg_covertree::CoverTree;
+use pg_metric::{Dataset, Metric};
+use pg_nets::{NetHierarchy, RelativesCascade};
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::params::GNetParams;
+
+/// The net-based proximity graph of Theorem 1.1, together with the net
+/// hierarchy it was built from (retained for the merged graph of Theorem 1.3
+/// and for diagnostics).
+#[derive(Debug, Clone)]
+pub struct GNet {
+    /// The proximity graph.
+    pub graph: Graph,
+    /// Parameters `(ε, η, φ)`.
+    pub params: GNetParams,
+    /// The net ladder `Y_0 ⊇ ... ⊇ Y_h`.
+    pub hierarchy: NetHierarchy,
+}
+
+impl GNet {
+    /// Builds `G_net` with the fast (near-linear) construction. Alias of
+    /// [`GNet::build_fast`].
+    pub fn build<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+        Self::build_fast(data, epsilon)
+    }
+
+    /// Fast construction via the relatives cascade (see module docs).
+    pub fn build_fast<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+        let hierarchy = NetHierarchy::build(data);
+        Self::build_fast_on(data, epsilon, hierarchy)
+    }
+
+    /// Fast construction on a pre-built hierarchy.
+    pub fn build_fast_on<P, M: Metric<P>>(
+        data: &Dataset<P, M>,
+        epsilon: f64,
+        hierarchy: NetHierarchy,
+    ) -> Self {
+        let params = GNetParams::new(epsilon);
+        let n = data.len();
+        let mut builder = GraphBuilder::new(n);
+
+        // K = φ + 1: a center y with D(p, y) <= φ r is within (φ+1) r of
+        // p's covering center, hence among that center's relatives.
+        let mut cascade = RelativesCascade::new(data, &hierarchy, params.phi + 1.0);
+        loop {
+            let lvl = hierarchy.level(cascade.level_idx());
+            let rel = cascade.relatives();
+            let reach = params.phi * lvl.radius;
+            for p in 0..n as u32 {
+                let cpos = lvl.cover[p as usize] as usize;
+                for &ypos in &rel[cpos] {
+                    let y = lvl.centers[ypos as usize];
+                    if y != p && data.dist(p as usize, y as usize) <= reach {
+                        builder.add_edge(p, y);
+                    }
+                }
+            }
+            if !cascade.descend() {
+                break;
+            }
+        }
+
+        GNet {
+            graph: builder.build(),
+            params,
+            hierarchy,
+        }
+    }
+
+    /// Ground-truth construction: full scan of every net level for every
+    /// point (`O(n * Σ_i |Y_i|)` distances).
+    pub fn build_naive<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+        let hierarchy = NetHierarchy::build(data);
+        Self::build_naive_on(data, epsilon, hierarchy)
+    }
+
+    /// Naive construction on a pre-built hierarchy.
+    pub fn build_naive_on<P, M: Metric<P>>(
+        data: &Dataset<P, M>,
+        epsilon: f64,
+        hierarchy: NetHierarchy,
+    ) -> Self {
+        let params = GNetParams::new(epsilon);
+        let n = data.len();
+        let mut builder = GraphBuilder::new(n);
+        for lvl in hierarchy.levels() {
+            let reach = params.phi * lvl.radius;
+            for p in 0..n as u32 {
+                for &y in &lvl.centers {
+                    if y != p && data.dist(p as usize, y as usize) <= reach {
+                        builder.add_edge(p, y);
+                    }
+                }
+            }
+        }
+        GNet {
+            graph: builder.build(),
+            params,
+            hierarchy,
+        }
+    }
+
+    /// The Section 2.4 `build` procedure verbatim: per level, a dynamic
+    /// 2-ANN structure `T` over `Y_i`; for each point `p`, the set
+    /// `S = {y ∈ Y_i : D(p, y) <= φ 2^i}` is retrieved by repeatedly taking
+    /// a 2-ANN `y` of `p` from `T`, adding it to `S` if `D(p, y) <= φ 2^i`,
+    /// and deleting it from `T`, until `D(p, y) > 2 φ 2^i`; afterwards the
+    /// deleted points are re-inserted.
+    pub fn build_covertree<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+        let hierarchy = NetHierarchy::build(data);
+        Self::build_covertree_on(data, epsilon, hierarchy)
+    }
+
+    /// Section 2.4 construction on a pre-built hierarchy.
+    pub fn build_covertree_on<P, M: Metric<P>>(
+        data: &Dataset<P, M>,
+        epsilon: f64,
+        hierarchy: NetHierarchy,
+    ) -> Self {
+        let params = GNetParams::new(epsilon);
+        let n = data.len();
+        let mut builder = GraphBuilder::new(n);
+
+        for lvl in hierarchy.levels() {
+            let reach = params.phi * lvl.radius;
+            let stop = 2.0 * params.phi * lvl.radius;
+            let mut tree = CoverTree::build(data, lvl.centers.iter().copied());
+            for p in 0..n as u32 {
+                let mut deleted: Vec<u32> = Vec::new();
+                // Retrieval of S (Section 2.4): |S_del| = O(φ^λ) by the
+                // packing argument, so the restore cost matches the paper's.
+                while let Some((y, d)) = tree.ann(data.point(p as usize), 2.0) {
+                    if d > stop {
+                        break;
+                    }
+                    if d <= reach && y != p {
+                        builder.add_edge(p, y);
+                    }
+                    tree.remove(y);
+                    deleted.push(y);
+                }
+                for y in deleted {
+                    tree.restore(y);
+                }
+            }
+        }
+
+        GNet {
+            graph: builder.build(),
+            params,
+            hierarchy,
+        }
+    }
+
+    /// The theoretical degree budget per level, `O((2φ)^λ)` (Fact 2.3 with
+    /// aspect ratio `2φ`): returns `(8 * 2φ)^λ_est` for a given doubling
+    /// dimension estimate — useful in experiments as a sanity ceiling.
+    pub fn degree_budget_per_level(&self, lambda: f64) -> f64 {
+        (8.0 * 2.0 * self.params.phi).powf(lambda)
+    }
+
+    /// A **certified** budget for the Section 1.1 `query(p_start, q, Q)`
+    /// wrapper: with `Q` set to this value, the budgeted query is guaranteed
+    /// to return a `(1+ε)`-ANN from any start.
+    ///
+    /// Derivation: greedy reaches a `(1+ε)`-ANN within `h` iterations (the
+    /// log-drop property, Section 2.3) and hop distances only descend
+    /// afterwards; each iteration computes at most `max_out_degree`
+    /// distances, plus one for the start vertex. This is the concrete
+    /// instantiation of Theorem 1.1's `O((1/ε)^λ log² Δ)` bound on this
+    /// dataset.
+    pub fn certified_query_budget(&self) -> u64 {
+        let h = self.hierarchy.h() as u64;
+        let deg = self.graph.max_out_degree() as u64;
+        1 + (h + 2) * deg.max(1)
+    }
+}
+
+/// Ablation helper: `G_net`'s edge rule with an **arbitrary** reach factor
+/// `phi` instead of the paper's `φ = 1 + 2^{η+1}` (Eq. 4), over a given
+/// hierarchy. Used by the `exp_ablation_phi` experiment to probe how much of
+/// the paper's constant is slack on concrete inputs: Lemma 2.2's proof needs
+/// `φ ≥ 1 + 2^{η+1}`, but navigability on a given dataset may survive with a
+/// smaller reach (fewer edges) — or break, which the navigability checker
+/// then witnesses.
+pub fn gnet_edges_with_phi<P, M: Metric<P>>(
+    data: &Dataset<P, M>,
+    hierarchy: &NetHierarchy,
+    phi: f64,
+) -> Graph {
+    assert!(phi > 0.0);
+    let n = data.len();
+    let mut builder = GraphBuilder::new(n);
+    for lvl in hierarchy.levels() {
+        let reach = phi * lvl.radius;
+        for p in 0..n as u32 {
+            for &y in &lvl.centers {
+                if y != p && data.dist(p as usize, y as usize) <= reach {
+                    builder.add_edge(p, y);
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// `G_net` built over **independent** per-level greedy nets — the paper's
+/// Eq. (2) verbatim, where each `Y_i` is just *some* `2^i`-net of `P` with
+/// no relation between levels.
+///
+/// The default [`GNet`] uses a *nested* ladder (`Y_{i+1} ⊆ Y_i`), which is
+/// also a valid instantiation of Eq. (2) but deduplicates edges whose target
+/// center recurs across levels — often far below the `n log Δ` worst case on
+/// benign data. With independent nets each level draws fresh centers, so the
+/// `n log Δ` size behaviour of Theorem 1.1 (and the necessity shown by
+/// Theorem 1.2(1)) is visible. The separation experiment (T1.3-sep) contrasts
+/// both against the merged graph; DESIGN.md discusses the ablation.
+///
+/// Construction is quadratic (per-level greedy nets + full scans) — this
+/// variant exists for fidelity and experiments, not speed.
+#[derive(Debug, Clone)]
+pub struct GNetIndependent {
+    /// The proximity graph.
+    pub graph: Graph,
+    /// Parameters `(ε, η, φ)`.
+    pub params: GNetParams,
+    /// The per-level nets used: `(radius, centers)`, bottom-up.
+    pub levels: Vec<(f64, Vec<u32>)>,
+}
+
+impl GNetIndependent {
+    /// Builds over independent greedy nets at the standard radius ladder
+    /// (top ≈ diameter, bottom < `d_min`).
+    pub fn build<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+        // Reuse the fast hierarchy only to learn the radius ladder; the nets
+        // themselves are drawn independently per level.
+        let ladder = NetHierarchy::build(data);
+        let levels = pg_nets::independent_hierarchy(
+            data,
+            ladder.top_radius(),
+            ladder.bottom_radius(),
+        );
+        Self::build_on(data, epsilon, levels)
+    }
+
+    /// Builds over the given `(radius, centers)` levels (each must be a
+    /// valid `radius`-net of the whole dataset).
+    pub fn build_on<P, M: Metric<P>>(
+        data: &Dataset<P, M>,
+        epsilon: f64,
+        levels: Vec<(f64, Vec<u32>)>,
+    ) -> Self {
+        let params = GNetParams::new(epsilon);
+        let n = data.len();
+        let mut builder = GraphBuilder::new(n);
+        for (radius, centers) in &levels {
+            let reach = params.phi * radius;
+            for p in 0..n as u32 {
+                for &y in centers {
+                    if y != p && data.dist(p as usize, y as usize) <= reach {
+                        builder.add_edge(p, y);
+                    }
+                }
+            }
+        }
+        GNetIndependent {
+            graph: builder.build(),
+            params,
+            levels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::navigability::{check_navigable, check_pg_exhaustive, Starts};
+    use pg_metric::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(
+            (0..n)
+                .map(|_| (0..d).map(|_| rng.random_range(0.0..50.0)).collect())
+                .collect(),
+            Euclidean,
+        )
+    }
+
+    fn random_queries(m: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .map(|_| (0..d).map(|_| rng.random_range(-10.0..60.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fast_and_naive_agree() {
+        let ds = random_dataset(120, 2, 1);
+        let h = NetHierarchy::build(&ds);
+        let fast = GNet::build_fast_on(&ds, 1.0, h.clone());
+        let naive = GNet::build_naive_on(&ds, 1.0, h);
+        assert_eq!(fast.graph, naive.graph, "edge sets must be identical");
+    }
+
+    #[test]
+    fn covertree_path_agrees_with_naive() {
+        let ds = random_dataset(80, 2, 2);
+        let h = NetHierarchy::build(&ds);
+        let ct = GNet::build_covertree_on(&ds, 1.0, h.clone());
+        let naive = GNet::build_naive_on(&ds, 1.0, h);
+        assert_eq!(ct.graph, naive.graph, "Section 2.4 path must match");
+    }
+
+    #[test]
+    fn gnet_is_navigable_and_a_pg_eps_one() {
+        let ds = random_dataset(100, 2, 3);
+        let g = GNet::build(&ds, 1.0);
+        let queries = random_queries(20, 2, 30);
+        check_navigable(&g.graph, &ds, &queries, 1.0).unwrap();
+        check_pg_exhaustive(&g.graph, &ds, &queries, 1.0, Starts::Stride(7)).unwrap();
+    }
+
+    #[test]
+    fn gnet_is_navigable_small_epsilon() {
+        let ds = random_dataset(60, 2, 4);
+        let g = GNet::build(&ds, 0.25);
+        let queries = random_queries(15, 2, 31);
+        check_navigable(&g.graph, &ds, &queries, 0.25).unwrap();
+        check_pg_exhaustive(&g.graph, &ds, &queries, 0.25, Starts::All).unwrap();
+    }
+
+    #[test]
+    fn every_vertex_has_an_out_edge() {
+        // Proposition 2.1.
+        let ds = random_dataset(150, 3, 5);
+        let g = GNet::build(&ds, 1.0);
+        assert_eq!(g.graph.sink_count(), 0);
+    }
+
+    #[test]
+    fn greedy_hop_count_is_bounded_by_h_plus_one() {
+        // Section 2.3: after at most h iterations the hop vertex is a
+        // (1+ε)-ANN; the walk can continue but hops strictly descend, and on
+        // G_net the total trace stays O(h) in practice. We assert the proven
+        // part: the number of hops until the first (1+ε)-ANN is <= h + 1.
+        let ds = random_dataset(200, 2, 6);
+        let g = GNet::build(&ds, 1.0);
+        let h = g.hierarchy.h();
+        let queries = random_queries(10, 2, 32);
+        for q in &queries {
+            let (_, nn) = ds.nearest_brute(q);
+            let out = crate::search::greedy(&g.graph, &ds, 0, q);
+            let first_ann = out
+                .hops
+                .iter()
+                .position(|&v| ds.dist_to(v as usize, q) <= 2.0 * nn + 1e-12)
+                .expect("greedy must reach a 2-ANN");
+            assert!(
+                first_ann <= h + 1,
+                "first (1+ε)-ANN after {first_ann} hops, h = {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn certified_budget_always_suffices() {
+        let ds = random_dataset(150, 2, 9);
+        let g = GNet::build(&ds, 1.0);
+        let budget = g.certified_query_budget();
+        let queries = random_queries(15, 2, 34);
+        for (i, q) in queries.iter().enumerate() {
+            let start = ((i * 31) % 150) as u32;
+            let out = crate::search::query(&g.graph, &ds, start, q, budget);
+            let (_, exact) = ds.nearest_brute(q);
+            assert!(
+                out.result_dist <= 2.0 * exact + 1e-9,
+                "budgeted query broke the guarantee at budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_nets_variant_is_also_a_pg() {
+        let ds = random_dataset(70, 2, 8);
+        let g = GNetIndependent::build(&ds, 1.0);
+        let queries = random_queries(12, 2, 33);
+        check_navigable(&g.graph, &ds, &queries, 1.0).unwrap();
+        check_pg_exhaustive(&g.graph, &ds, &queries, 1.0, Starts::All).unwrap();
+        assert_eq!(g.graph.sink_count(), 0);
+    }
+
+    #[test]
+    fn independent_nets_never_smaller_than_nested_on_spread_data() {
+        // The nested ladder's cross-level dedup only removes edges.
+        let mut pts = Vec::new();
+        for j in 0..10 {
+            for k in 0..8 {
+                pts.push(vec![(4.0f64).powi(j) + k as f64 * 0.05, (k % 3) as f64 * 0.05]);
+            }
+        }
+        let ds = Dataset::new(pts, Euclidean);
+        let nested = GNet::build_fast(&ds, 1.0);
+        let indep = GNetIndependent::build(&ds, 1.0);
+        assert!(
+            indep.graph.edge_count() >= nested.graph.edge_count(),
+            "independent {} vs nested {}",
+            indep.graph.edge_count(),
+            nested.graph.edge_count()
+        );
+    }
+
+    #[test]
+    fn data_points_as_queries_find_themselves() {
+        let ds = random_dataset(80, 2, 7);
+        let g = GNet::build(&ds, 1.0);
+        for p in (0..80u32).step_by(9) {
+            let out = crate::search::greedy(&g.graph, &ds, (p + 40) % 80, ds.point(p as usize));
+            assert_eq!(out.result, p, "greedy must land exactly on the data point");
+            assert_eq!(out.result_dist, 0.0);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Simple directed graphs over dataset point ids, stored in compressed
+//! sparse row (CSR) form.
+//!
+//! Every proximity-graph variant in this workspace (`G_net`, θ-graphs, the
+//! merged graph, the baselines) produces a [`Graph`]; the `greedy` routine of
+//! Section 1.1 and the navigability checker of Fact 2.1 consume one.
+
+/// An immutable simple directed graph on vertices `0..n` (dataset ids).
+///
+/// Adjacency lists are sorted and deduplicated; self-loops are removed at
+/// construction (the paper's graphs are simple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds from per-vertex adjacency lists. Lists are sorted, duplicate
+    /// edges and self-loops dropped.
+    pub fn from_adjacency(adj: Vec<Vec<u32>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for (v, mut list) in adj.into_iter().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            list.retain(|&t| t as usize != v);
+            for &t in &list {
+                assert!((t as usize) < n, "edge target {t} out of range (n = {n})");
+            }
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len());
+        }
+        Graph { offsets, targets }
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// The complete directed graph on `n` vertices — the trivial
+    /// `(1+ε)`-proximity graph of Section 1.1 with `Θ(n^2)` edges.
+    pub fn complete(n: usize) -> Self {
+        let adj = (0..n)
+            .map(|v| (0..n as u32).filter(|&t| t as usize != v).collect())
+            .collect();
+        Graph::from_adjacency(adj)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`, ascending by id.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.out_degree(v as u32)).max().unwrap_or(0)
+    }
+
+    /// Average out-degree (edges per vertex).
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.n() as f64
+        }
+    }
+
+    /// Whether the directed edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// A copy of the graph with the single directed edge `(u, v)` removed —
+    /// used for failure injection in the lower-bound experiments.
+    pub fn without_edge(&self, u: u32, v: u32) -> Graph {
+        let mut adj: Vec<Vec<u32>> = (0..self.n() as u32)
+            .map(|w| self.neighbors(w).to_vec())
+            .collect();
+        adj[u as usize].retain(|&t| t != v);
+        Graph::from_adjacency(adj)
+    }
+
+    /// Vertex-wise union of two graphs on the same vertex set — the merge
+    /// operation of Section 5 ("the out-edge set of each point `p` in `G` is
+    /// the union of those in `G'_net` and `G_geo`").
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n(), other.n(), "vertex sets must match");
+        let adj = (0..self.n() as u32)
+            .map(|v| {
+                let mut list = self.neighbors(v).to_vec();
+                list.extend_from_slice(other.neighbors(v));
+                list
+            })
+            .collect();
+        Graph::from_adjacency(adj)
+    }
+
+    /// Iterates all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n() as u32).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Number of vertices with out-degree zero (a healthy proximity graph
+    /// has none; see Proposition 2.1).
+    pub fn sink_count(&self) -> usize {
+        (0..self.n() as u32).filter(|&v| self.out_degree(v) == 0).count()
+    }
+
+    /// Out-degree histogram: `hist[d]` = number of vertices with out-degree
+    /// `d`. Useful for size diagnostics (the Fact 2.3 packing bound shapes
+    /// the tail).
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_out_degree() + 1];
+        for v in 0..self.n() as u32 {
+            hist[self.out_degree(v)] += 1;
+        }
+        hist
+    }
+
+    /// Number of vertices reachable from `start` by directed edges
+    /// (including `start`). A `(1+ε)`-PG need not be strongly connected, but
+    /// greedy must be able to *descend* from anywhere, so reachability
+    /// diagnostics help debug broken graphs.
+    pub fn reachable_count(&self, start: u32) -> usize {
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![start];
+        seen[start as usize] = true;
+        let mut count = 0usize;
+        while let Some(v) = stack.pop() {
+            count += 1;
+            for &t in self.neighbors(v) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        count
+    }
+
+    /// Approximate in-memory footprint of the CSR representation in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Incremental adjacency builder.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds the directed edge `(u, v)`. Duplicates and self-loops are
+    /// filtered at [`GraphBuilder::build`] time.
+    #[inline]
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.adj[u as usize].push(v);
+    }
+
+    /// Finalizes into a [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_adjacency(self.adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_adjacency_sorts_dedups_drops_self_loops() {
+        let g = Graph::from_adjacency(vec![vec![2, 1, 2, 0], vec![], vec![0]]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn complete_graph_has_n_times_n_minus_one_edges() {
+        let g = Graph::complete(7);
+        assert_eq!(g.edge_count(), 42);
+        assert_eq!(g.max_out_degree(), 6);
+        assert_eq!(g.sink_count(), 0);
+    }
+
+    #[test]
+    fn has_edge_and_without_edge() {
+        let g = Graph::from_adjacency(vec![vec![1, 2], vec![2], vec![]]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        let g2 = g.without_edge(0, 1);
+        assert!(!g2.has_edge(0, 1));
+        assert!(g2.has_edge(0, 2));
+        assert_eq!(g2.edge_count(), g.edge_count() - 1);
+    }
+
+    #[test]
+    fn union_merges_out_edges() {
+        let a = Graph::from_adjacency(vec![vec![1], vec![], vec![0]]);
+        let b = Graph::from_adjacency(vec![vec![2], vec![0], vec![0]]);
+        let u = a.union(&b);
+        assert_eq!(u.neighbors(0), &[1, 2]);
+        assert_eq!(u.neighbors(1), &[0]);
+        assert_eq!(u.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 3);
+        b.add_edge(0, 3);
+        b.add_edge(3, 0);
+        b.add_edge(2, 2); // self-loop, dropped
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.sink_count(), 2); // vertices 1 and 2
+    }
+
+    #[test]
+    fn edges_iterator_matches_counts() {
+        let g = Graph::from_adjacency(vec![vec![1, 2], vec![2], vec![0]]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 0)));
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = Graph::from_adjacency(vec![vec![1, 2], vec![2], vec![]]);
+        let hist = g.degree_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+        assert_eq!(hist[0], 1); // vertex 2
+        assert_eq!(hist[1], 1); // vertex 1
+        assert_eq!(hist[2], 1); // vertex 0
+    }
+
+    #[test]
+    fn reachability_on_a_path() {
+        let g = Graph::from_adjacency(vec![vec![1], vec![2], vec![3], vec![]]);
+        assert_eq!(g.reachable_count(0), 4);
+        assert_eq!(g.reachable_count(2), 2);
+        assert_eq!(g.reachable_count(3), 1);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_edges() {
+        let small = Graph::complete(4);
+        let big = Graph::complete(16);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_rejected() {
+        let _ = Graph::from_adjacency(vec![vec![5]]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Proximity graphs for similarity search — the primary contribution of
+//! Lu & Tao, *Proximity Graphs for Similarity Search: Fast Construction,
+//! Lower Bounds, and Euclidean Separation* (PODS 2025), implemented from
+//! scratch.
+//!
+//! # What lives here
+//!
+//! * [`graph`] — CSR directed graphs over dataset ids, plus failure
+//!   injection (edge removal) and the merge operation of Section 5;
+//! * [`search`] — the `greedy` walk and budgeted `query` of Section 1.1,
+//!   verbatim, counting distance computations; beam search as an extension;
+//! * [`navigability`] — the `(1+ε)`-navigability checker of Fact 2.1 and an
+//!   exhaustive operational PG checker;
+//! * [`params`] — `η` and `φ` (Eqs. 3–4);
+//! * [`gnet`] — `G_net` of Theorem 1.1 with three equivalent constructions
+//!   (naive, fast relatives-cascade, and the Section 2.4 dynamic-ANN
+//!   procedure);
+//! * [`theta`] — cone covers and θ-graphs of Section 5.1 (Lemma 5.1:
+//!   an `(ε/32)`-graph is a `(1+ε)`-PG);
+//! * [`merged`] — the merged Euclidean graph of Theorem 1.3 with jackpot
+//!   vertex sampling (Eq. 17) and best-of-runs amplification (Section 5.3);
+//! * [`dynamic`] — an insert/delete extension: logarithmic rebuilding on top
+//!   of `G_net`, keeping the `(1+ε)` guarantee at all times.
+//!
+//! # Quick example
+//!
+//! ```
+//! use pg_core::gnet::GNet;
+//! use pg_core::search::greedy;
+//! use pg_metric::{Dataset, Euclidean};
+//!
+//! let points: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+//! let data = Dataset::new(points, Euclidean);
+//! let pg = GNet::build(&data, 1.0); // a 2-approximate proximity graph
+//!
+//! let query = vec![17.2, 3.4];
+//! let out = greedy(&pg.graph, &data, 0, &query);
+//! let (exact, _) = data.nearest_brute(&query);
+//! assert!(out.result_dist <= 2.0 * data.dist_to(exact, &query));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dynamic;
+pub mod gnet;
+pub mod graph;
+pub mod merged;
+pub mod navigability;
+pub mod params;
+pub mod search;
+pub mod theta;
+
+pub use dynamic::{DynamicAnswer, DynamicGNet, DynamicStats};
+pub use gnet::{gnet_edges_with_phi, GNet, GNetIndependent};
+pub use graph::{Graph, GraphBuilder};
+pub use merged::{MergedGraph, MergedParams};
+pub use navigability::{check_navigable, check_pg_exhaustive, Starts, Violation};
+pub use params::GNetParams;
+pub use search::{beam_search, greedy, query, GreedyOutcome};
+pub use theta::{ConeSet, ThetaGraph};

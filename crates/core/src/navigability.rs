@@ -1,0 +1,212 @@
+//! Navigability and proximity-graph checkers (Section 2.2, Fact 2.1).
+//!
+//! A graph `G` is **(1+ε)-navigable** when for every data point `p` and
+//! every query `q`, either `p` is a `(1+ε)`-ANN of `q`, or `p` has an
+//! out-neighbor strictly closer to `q`. Fact 2.1: `G` is a `(1+ε)`-PG iff it
+//! is `(1+ε)`-navigable.
+//!
+//! Both directions are exercised here: [`check_navigable`] verifies the
+//! condition directly (one pass over vertices and edges per query), and
+//! [`check_pg_exhaustive`] runs `greedy` from every start vertex and checks
+//! the answer — the two must agree, which integration tests assert.
+
+use pg_metric::{Dataset, Metric};
+
+use crate::graph::Graph;
+use crate::search::greedy;
+
+/// A witness that a graph is not `(1+ε)`-navigable (or not a `(1+ε)`-PG).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index of the offending query in the supplied query slice.
+    pub query_idx: usize,
+    /// The stuck data point: not a `(1+ε)`-ANN yet no strictly closer
+    /// out-neighbor (for navigability), or the greedy start that produced a
+    /// wrong answer (for the exhaustive check).
+    pub point: u32,
+    /// Distance from `point` (or the returned vertex) to the query.
+    pub dist: f64,
+    /// The exact nearest-neighbor distance for this query.
+    pub nn_dist: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query #{}: point {} at distance {} (NN distance {})",
+            self.query_idx, self.point, self.dist, self.nn_dist
+        )
+    }
+}
+
+/// Checks `(1+ε)`-navigability of `graph` against the given query points
+/// (Section 2.2 definition). Cost per query: `n` distance evaluations plus
+/// one pass over the edges.
+///
+/// Returns the first violation found, or `Ok(())`.
+pub fn check_navigable<P, M: Metric<P>>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    queries: &[P],
+    epsilon: f64,
+) -> Result<(), Violation> {
+    assert_eq!(graph.n(), data.len(), "graph/dataset size mismatch");
+    for (qi, q) in queries.iter().enumerate() {
+        let dists: Vec<f64> = (0..data.len()).map(|i| data.dist_to(i, q)).collect();
+        let nn_dist = dists.iter().copied().fold(f64::INFINITY, f64::min);
+        let threshold = (1.0 + epsilon) * nn_dist;
+        'points: for p in 0..data.len() {
+            if dists[p] <= threshold {
+                continue; // p is a (1+ε)-ANN of q.
+            }
+            for &nb in graph.neighbors(p as u32) {
+                if dists[nb as usize] < dists[p] {
+                    continue 'points; // strictly closer out-neighbor.
+                }
+            }
+            return Err(Violation {
+                query_idx: qi,
+                point: p as u32,
+                dist: dists[p],
+                nn_dist,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Which start vertices [`check_pg_exhaustive`] should try.
+#[derive(Debug, Clone, Copy)]
+pub enum Starts {
+    /// Every data point — the paper's quantifier ("any data point
+    /// `p_start ∈ P`"). `O(n)` greedy runs per query.
+    All,
+    /// A fixed stride sample of start vertices (cheaper; still adversarial
+    /// enough for larger instances).
+    Stride(usize),
+}
+
+/// Checks the `(1+ε)`-PG property operationally: for each query, runs the
+/// Section 1.1 `greedy` from the selected start vertices and verifies the
+/// returned point is a `(1+ε)`-ANN.
+pub fn check_pg_exhaustive<P, M: Metric<P>>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    queries: &[P],
+    epsilon: f64,
+    starts: Starts,
+) -> Result<(), Violation> {
+    assert_eq!(graph.n(), data.len(), "graph/dataset size mismatch");
+    let stride = match starts {
+        Starts::All => 1,
+        Starts::Stride(s) => s.max(1),
+    };
+    for (qi, q) in queries.iter().enumerate() {
+        let (_, nn_dist) = data.nearest_brute(q);
+        let threshold = (1.0 + epsilon) * nn_dist + 1e-12 * (1.0 + nn_dist);
+        let mut s = 0usize;
+        while s < data.len() {
+            let out = greedy(graph, data, s as u32, q);
+            if out.result_dist > threshold {
+                return Err(Violation {
+                    query_idx: qi,
+                    point: s as u32,
+                    dist: out.result_dist,
+                    nn_dist,
+                });
+            }
+            s += stride;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::Euclidean;
+
+    fn line_dataset(n: usize) -> Dataset<Vec<f64>, Euclidean> {
+        Dataset::new((0..n).map(|i| vec![i as f64]).collect(), Euclidean)
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_adjacency(
+            (0..n)
+                .map(|v| {
+                    let mut a = Vec::new();
+                    if v > 0 {
+                        a.push(v as u32 - 1);
+                    }
+                    if v + 1 < n {
+                        a.push(v as u32 + 1);
+                    }
+                    a
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn path_graph_is_navigable_on_the_line() {
+        let ds = line_dataset(12);
+        let g = path_graph(12);
+        let queries: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.45 - 1.0]).collect();
+        check_navigable(&g, &ds, &queries, 0.5).unwrap();
+        check_pg_exhaustive(&g, &ds, &queries, 0.5, Starts::All).unwrap();
+    }
+
+    #[test]
+    fn complete_graph_is_a_pg_for_any_epsilon() {
+        let ds = line_dataset(9);
+        let g = Graph::complete(9);
+        let queries: Vec<Vec<f64>> = vec![vec![-3.0], vec![4.2], vec![100.0]];
+        check_navigable(&g, &ds, &queries, 0.01).unwrap();
+        check_pg_exhaustive(&g, &ds, &queries, 0.01, Starts::All).unwrap();
+    }
+
+    #[test]
+    fn broken_path_is_detected_by_both_checkers() {
+        let ds = line_dataset(10);
+        // Remove the edge 4 -> 5: from the left half, greedy can no longer
+        // reach points near 9.
+        let g = path_graph(10).without_edge(4, 5);
+        let queries: Vec<Vec<f64>> = vec![vec![9.0]];
+        let nav = check_navigable(&g, &ds, &queries, 0.5);
+        assert!(nav.is_err());
+        assert_eq!(nav.unwrap_err().point, 4);
+        let ex = check_pg_exhaustive(&g, &ds, &queries, 0.5, Starts::All);
+        assert!(ex.is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_navigable_only_for_self_queries() {
+        let ds = line_dataset(5);
+        let g = Graph::empty(5);
+        // Query far from all points: every point except the nearest is stuck.
+        let err = check_navigable(&g, &ds, &[vec![0.0]], 0.1).unwrap_err();
+        assert!(err.dist > err.nn_dist);
+    }
+
+    #[test]
+    fn stride_sampling_still_detects_breaks() {
+        let ds = line_dataset(40);
+        let g = path_graph(40).without_edge(20, 21);
+        let res = check_pg_exhaustive(&g, &ds, &[vec![39.0]], 0.5, Starts::Stride(7));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn epsilon_slack_tolerates_approximate_answers() {
+        let ds = line_dataset(4);
+        // Star from every vertex to vertex 0 only: greedy ends at 0 or at a
+        // vertex closer than 0. For a query at 0.6, vertex 1 is the NN
+        // (d = 0.4) and vertex 0 has d = 0.6 = 1.5 * 0.4: a 2-ANN.
+        let g = Graph::from_adjacency(vec![vec![], vec![0], vec![0], vec![0]]);
+        let q = vec![0.6];
+        assert!(check_pg_exhaustive(&g, &ds, std::slice::from_ref(&q), 1.0, Starts::All).is_ok());
+        // But not a 1.1-ANN.
+        assert!(check_pg_exhaustive(&g, &ds, &[q], 0.1, Starts::All).is_err());
+    }
+}

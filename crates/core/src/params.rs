@@ -1,0 +1,93 @@
+//! `G_net` parameters: `η` and `φ` (Eqs. 3–4 of the paper).
+
+/// Parameters of the net-based proximity graph of Theorem 1.1:
+///
+/// * `η = ceil(log2(1 + 2/ε))` (Eq. 3) — always `>= 2`;
+/// * `φ = 1 + 2^{η+1}` (Eq. 4) — always `>= 9`, and `φ = Θ(1/ε)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GNetParams {
+    /// The approximation slack `ε ∈ (0, 1]`.
+    pub epsilon: f64,
+    /// `η` from Eq. (3).
+    pub eta: u32,
+    /// `φ` from Eq. (4); edges at level `i` connect `p` to net points within
+    /// `φ * r_i`.
+    pub phi: f64,
+}
+
+impl GNetParams {
+    /// Derives `η` and `φ` from `ε ∈ (0, 1]`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must lie in (0, 1], got {epsilon}"
+        );
+        let eta = pg_metric::aspect::ceil_log2(1.0 + 2.0 / epsilon);
+        let phi = 1.0 + (2.0f64).powi(eta as i32 + 1);
+        debug_assert!(eta >= 2, "paper guarantees eta >= 2");
+        debug_assert!(phi >= 9.0, "paper guarantees phi >= 9");
+        GNetParams { epsilon, eta, phi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_one_gives_the_paper_floor_values() {
+        // 1 + 2/1 = 3, ceil(log2 3) = 2, phi = 1 + 2^3 = 9.
+        let p = GNetParams::new(1.0);
+        assert_eq!(p.eta, 2);
+        assert_eq!(p.phi, 9.0);
+    }
+
+    #[test]
+    fn epsilon_half() {
+        // 1 + 4 = 5, ceil(log2 5) = 3, phi = 1 + 16 = 17.
+        let p = GNetParams::new(0.5);
+        assert_eq!(p.eta, 3);
+        assert_eq!(p.phi, 17.0);
+    }
+
+    #[test]
+    fn epsilon_tenth() {
+        // 1 + 20 = 21, ceil(log2 21) = 5, phi = 1 + 64 = 65.
+        let p = GNetParams::new(0.1);
+        assert_eq!(p.eta, 5);
+        assert_eq!(p.phi, 65.0);
+    }
+
+    #[test]
+    fn two_to_eta_exceeds_two_over_eps() {
+        // The proof of Fact 2.2 needs 2^η - 1 >= 2/ε.
+        for eps in [1.0, 0.75, 0.5, 0.3, 0.25, 0.1, 0.05, 0.01] {
+            let p = GNetParams::new(eps);
+            assert!(
+                (2.0f64).powi(p.eta as i32) - 1.0 >= 2.0 / eps - 1e-9,
+                "eps = {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn phi_is_theta_of_inverse_epsilon() {
+        for eps in [1.0, 0.5, 0.25, 0.125, 0.0625] {
+            let p = GNetParams::new(eps);
+            assert!(p.phi >= 1.0 / eps, "phi >= 1/eps fails at {eps}");
+            assert!(p.phi <= 1.0 + 8.0 / eps, "phi <= 1 + 8/eps fails at {eps}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1]")]
+    fn zero_epsilon_rejected() {
+        let _ = GNetParams::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must lie in (0, 1]")]
+    fn epsilon_above_one_rejected() {
+        let _ = GNetParams::new(1.5);
+    }
+}

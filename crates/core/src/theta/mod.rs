@@ -1,0 +1,8 @@
+//! θ-graphs for Euclidean space (Section 5.1): cone systems and the
+//! nearest-point-on-ray graph, the "small-but-slow" half of Theorem 1.3.
+
+mod cones;
+mod graph;
+
+pub use cones::ConeSet;
+pub use graph::ThetaGraph;

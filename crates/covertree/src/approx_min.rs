@@ -1,0 +1,72 @@
+//! The `d̂_min` estimator from the remark of Section 2.4 (footnote 1).
+//!
+//! > "To compute `d̂_min`, first build a 2-ANN structure on `P`. For each
+//! > point `p ∈ P`, use the structure to find a 2-ANN `p'` of `p` and record
+//! > the distance `D(p, p')` for `p`. Then, `d̂_min` can be set to half of
+//! > the smallest recorded distance of all points."
+
+use pg_metric::{Dataset, Metric};
+
+use crate::tree::CoverTree;
+
+/// Estimates the minimum inter-point distance: returns
+/// `d̂_min ∈ [d_min / 2, d_min]`.
+///
+/// For each point `p`, the point itself is tombstoned, a 2-ANN among the
+/// remaining points is retrieved, and the point is restored — the dynamic
+/// pattern the cover tree supports natively. The recorded distance satisfies
+/// `d(p, p') <= 2 * d(p, NN(p))`, so half the global minimum lies in
+/// `[d_min / 2, d_min]`.
+///
+/// Panics when the dataset has fewer than two points.
+pub fn approx_min_dist<P, M: Metric<P>>(data: &Dataset<P, M>) -> f64 {
+    assert!(data.len() >= 2, "need at least two points");
+    let mut tree = CoverTree::build_all(data);
+    let mut smallest = f64::INFINITY;
+    for pid in 0..data.len() as u32 {
+        tree.remove(pid);
+        let (_, d) = tree
+            .ann(data.point(pid as usize), 2.0)
+            .expect("tree has n-1 >= 1 live points");
+        smallest = smallest.min(d);
+        tree.restore(pid);
+    }
+    smallest / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::Euclidean;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn estimate_is_within_guaranteed_band() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let n = 50 + trial * 30;
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)])
+                .collect();
+            let ds = Dataset::new(pts, Euclidean);
+            let (dmin, _) = ds.min_max_interpoint();
+            let est = approx_min_dist(&ds);
+            assert!(
+                est >= dmin / 2.0 - 1e-12 && est <= dmin + 1e-12,
+                "estimate {est} outside [{}, {}]",
+                dmin / 2.0,
+                dmin
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_uniform_line() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![3.0 * i as f64]).collect();
+        let ds = Dataset::new(pts, Euclidean);
+        let est = approx_min_dist(&ds);
+        // All gaps equal 3; any 2-ANN in [3, 6]; half in [1.5, 3].
+        assert!((1.5..=3.0).contains(&est));
+    }
+}

@@ -1,0 +1,353 @@
+//! The Section 4 hard instance (Figure 2): translated integer blocks under
+//! `L_∞` with an adversarially defined query point, forcing `Ω(s^d · n)`
+//! edges in any `(1 + 1/(2s))`-PG.
+//!
+//! The data set is `P = ⋃_{w ∈ W} M_w` where `M = (Z_s)^d` and `W` places
+//! `t` copies along the first axis at multiples of `2s` (Eq. 14–15). The
+//! ambient space contains one extra *non-Euclidean* point `q`; its distance
+//! function `D_{p*}` (one per possible choice of `p* ∈ P`, Eq. 16) is:
+//!
+//! * `D(p_1, p_2) = L_∞(p_1, p_2)` for data points;
+//! * `D(p, q) = L_∞(p, w*)` when `p` is outside `p*`'s block;
+//! * `D(p, q) = s` when `p` is in `p*`'s block, `p != p*`;
+//! * `D(p*, q) = s - 1`.
+//!
+//! The adversary ("Alice") inspects the finished graph; if any ordered
+//! intra-block pair `(p_1, p_2)` is missing, she sets `p* = p_2`, making
+//! `p_1` a stuck point for query `q` — so every `(1+ε)`-PG with
+//! `ε = 1/(2s)` contains all `s^d (s^d - 1) t` such pairs.
+
+use pg_core::navigability::{check_navigable, Violation};
+use pg_core::Graph;
+use pg_metric::{Dataset, Metric};
+
+/// `L_∞` on integer coordinate vectors (the data-to-data metric the
+/// construction algorithm is allowed to see).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LInfInt;
+
+impl Metric<Vec<i64>> for LInfInt {
+    #[inline]
+    fn dist(&self, a: &Vec<i64>, b: &Vec<i64>) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).unsigned_abs())
+            .max()
+            .unwrap_or(0) as f64
+    }
+}
+
+/// A point of the extended space `M = P ∪ {q}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BPoint {
+    /// A data point (integer coordinates).
+    Data(Vec<i64>),
+    /// The adversarial non-Euclidean query point `q`.
+    Query,
+}
+
+/// The metric `D_{p*}` of Eq. (16), for one committed choice of `p*`.
+///
+/// Satisfies all metric axioms (Lemma 4.1, checked by property tests) and
+/// has doubling dimension at most `log(1 + 2^d)`.
+#[derive(Debug, Clone)]
+pub struct AdversarialMetric {
+    s: i64,
+    p_star: Vec<i64>,
+    /// The block anchor `w*` of `p*`'s block.
+    w_star: Vec<i64>,
+}
+
+impl AdversarialMetric {
+    /// Creates `D_{p*}`. `w_star` is derived from `p_star` (its first
+    /// coordinate rounded down to a multiple of `2s`, zeros elsewhere).
+    pub fn new(s: i64, p_star: Vec<i64>) -> Self {
+        assert!(s >= 2);
+        let mut w_star = vec![0i64; p_star.len()];
+        w_star[0] = (p_star[0] / (2 * s)) * (2 * s);
+        AdversarialMetric { s, p_star, w_star }
+    }
+
+    fn same_block_as_star(&self, p: &[i64]) -> bool {
+        p[0] / (2 * self.s) == self.p_star[0] / (2 * self.s)
+    }
+}
+
+impl Metric<BPoint> for AdversarialMetric {
+    fn dist(&self, a: &BPoint, b: &BPoint) -> f64 {
+        match (a, b) {
+            (BPoint::Data(p1), BPoint::Data(p2)) => LInfInt.dist(p1, p2),
+            (BPoint::Query, BPoint::Query) => 0.0,
+            (BPoint::Data(p), BPoint::Query) | (BPoint::Query, BPoint::Data(p)) => {
+                if !self.same_block_as_star(p) {
+                    LInfInt.dist(p, &self.w_star)
+                } else if p == &self.p_star {
+                    (self.s - 1) as f64
+                } else {
+                    self.s as f64
+                }
+            }
+        }
+    }
+}
+
+/// The Section 4 hard instance with parameters `s >= 2`, `d >= 1`, `t >= 1`.
+#[derive(Debug, Clone)]
+pub struct BlockInstance {
+    /// Grid side `s` (the lower bound holds for `ε = 1/(2s)`).
+    pub s: u32,
+    /// Grid dimension `d`.
+    pub d: u32,
+    /// Number of translated blocks `t`.
+    pub t: u32,
+    /// All `n = s^d * t` data points, block-major order.
+    pub points: Vec<Vec<i64>>,
+}
+
+impl BlockInstance {
+    /// Builds the instance `P = ⋃_w M_w`.
+    pub fn new(s: u32, d: u32, t: u32) -> Self {
+        assert!(s >= 2, "need s >= 2");
+        assert!(d >= 1, "need d >= 1");
+        assert!(t >= 1, "need t >= 1");
+        let block_size = (s as u64).pow(d);
+        assert!(
+            block_size * t as u64 <= 1_000_000,
+            "instance too large: s^d * t = {}",
+            block_size * t as u64
+        );
+        let mut points = Vec::with_capacity((block_size * t as u64) as usize);
+        for w in 0..t as i64 {
+            let shift = w * 2 * s as i64;
+            // Enumerate (Z_s)^d lexicographically.
+            let mut coords = vec![0i64; d as usize];
+            loop {
+                let mut p = coords.clone();
+                p[0] += shift;
+                points.push(p);
+                let mut carry = true;
+                for c in coords.iter_mut() {
+                    if carry {
+                        *c += 1;
+                        if *c == s as i64 {
+                            *c = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+        }
+        BlockInstance { s, d, t, points }
+    }
+
+    /// Number of data points `n = s^d * t`.
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The `ε` for which the lower bound is stated: `1/(2s)`.
+    pub fn epsilon(&self) -> f64 {
+        1.0 / (2.0 * self.s as f64)
+    }
+
+    /// Block index of data point `idx`.
+    pub fn block_of(&self, idx: usize) -> usize {
+        (self.points[idx][0] / (2 * self.s as i64)) as usize
+    }
+
+    /// The dataset under the data-visible metric `L_∞` — all a construction
+    /// algorithm is permitted to evaluate.
+    pub fn data_dataset(&self) -> Dataset<Vec<i64>, LInfInt> {
+        Dataset::new(self.points.clone(), LInfInt)
+    }
+
+    /// The extended dataset under `D_{p*}` for a committed `p*` (dataset
+    /// id). Point ids are unchanged; the query point `q` is
+    /// [`BPoint::Query`], passed separately to the navigability checker.
+    pub fn adversarial_dataset(&self, p_star: usize) -> Dataset<BPoint, AdversarialMetric> {
+        let metric = AdversarialMetric::new(self.s as i64, self.points[p_star].clone());
+        let pts = self.points.iter().cloned().map(BPoint::Data).collect();
+        Dataset::new(pts, metric)
+    }
+
+    /// Number of edges every `(1 + 1/(2s))`-PG must contain:
+    /// `s^d (s^d - 1) t = Ω(s^d · n)`.
+    pub fn required_edge_count(&self) -> u64 {
+        let b = (self.s as u64).pow(self.d);
+        b * (b - 1) * self.t as u64
+    }
+
+    /// All required (ordered, intra-block) edges as dataset-id pairs.
+    pub fn required_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let b = (self.s as usize).pow(self.d);
+        let t = self.t as usize;
+        (0..t).flat_map(move |blk| {
+            let base = blk * b;
+            (0..b).flat_map(move |i| {
+                (0..b)
+                    .filter(move |&j| j != i)
+                    .map(move |j| ((base + i) as u32, (base + j) as u32))
+            })
+        })
+    }
+
+    /// First missing intra-block edge, if any.
+    pub fn find_missing_required_edge(&self, graph: &Graph) -> Option<(u32, u32)> {
+        self.required_edges().find(|&(a, b)| !graph.has_edge(a, b))
+    }
+
+    /// Executes Alice's move: given that `graph` misses the intra-block edge
+    /// `(p1, p2)`, commits `p* = p2` and returns the navigability violation
+    /// at `p1` for query `q` that the proof of Section 4 predicts.
+    pub fn adversary_violation(&self, graph: &Graph, p1: u32, p2: u32) -> Option<Violation> {
+        assert_eq!(
+            self.block_of(p1 as usize),
+            self.block_of(p2 as usize),
+            "adversary needs an intra-block pair"
+        );
+        let data = self.adversarial_dataset(p2 as usize);
+        check_navigable(graph, &data, &[BPoint::Query], self.epsilon()).err()
+    }
+
+    /// Exact aspect ratio of `P` under `L_∞`: diameter `2s(t-1) + s - 1`,
+    /// minimum distance 1. `O(n)` as the paper notes.
+    pub fn aspect_ratio(&self) -> f64 {
+        (2 * self.s as i64 * (self.t as i64 - 1) + self.s as i64 - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::metric::axioms;
+
+    #[test]
+    fn instance_shape() {
+        let inst = BlockInstance::new(3, 2, 4);
+        assert_eq!(inst.n(), 9 * 4);
+        assert_eq!(inst.required_edge_count(), (9 * 8 * 4) as u64);
+        assert_eq!(inst.epsilon(), 1.0 / 6.0);
+        // Block anchors at multiples of 2s = 6 on the first axis.
+        assert_eq!(inst.block_of(0), 0);
+        assert_eq!(inst.block_of(9), 1);
+        assert_eq!(inst.block_of(35), 3);
+    }
+
+    #[test]
+    fn inter_block_gap_is_at_least_s_plus_one() {
+        let inst = BlockInstance::new(3, 2, 3);
+        let ds = inst.data_dataset();
+        for i in 0..inst.n() {
+            for j in 0..inst.n() {
+                if i != j && inst.block_of(i) != inst.block_of(j) {
+                    assert!(ds.dist(i, j) >= (inst.s + 1) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_matches_formula() {
+        let inst = BlockInstance::new(2, 2, 3);
+        let ds = inst.data_dataset();
+        let (dmin, dmax) = ds.min_max_interpoint();
+        assert_eq!(dmin, 1.0);
+        assert_eq!(dmax, inst.aspect_ratio());
+    }
+
+    #[test]
+    fn adversarial_metric_axioms_hold_for_every_p_star() {
+        // Lemma 4.1 (triangle inequality etc.), executed.
+        let inst = BlockInstance::new(2, 2, 2);
+        for p_star in 0..inst.n() {
+            let ds = inst.adversarial_dataset(p_star);
+            let mut pts: Vec<BPoint> = ds.points().to_vec();
+            pts.push(BPoint::Query);
+            axioms::check_all(ds.metric(), &pts).unwrap();
+        }
+    }
+
+    #[test]
+    fn query_distances_follow_equation_16() {
+        let inst = BlockInstance::new(3, 1, 2); // blocks {0,1,2} and {6,7,8}
+        let ds = inst.adversarial_dataset(4); // p* = 7 (block 1)
+        let q = BPoint::Query;
+        // p* itself: s - 1 = 2.
+        assert_eq!(ds.metric().dist(&BPoint::Data(vec![7]), &q), 2.0);
+        // Same block, not p*: s = 3.
+        assert_eq!(ds.metric().dist(&BPoint::Data(vec![6]), &q), 3.0);
+        assert_eq!(ds.metric().dist(&BPoint::Data(vec![8]), &q), 3.0);
+        // Other block: L_inf to w* = (6): 6, 5, 4.
+        assert_eq!(ds.metric().dist(&BPoint::Data(vec![0]), &q), 6.0);
+        assert_eq!(ds.metric().dist(&BPoint::Data(vec![2]), &q), 4.0);
+    }
+
+    #[test]
+    fn complete_graph_survives_alice() {
+        let inst = BlockInstance::new(2, 2, 2);
+        let g = Graph::complete(inst.n());
+        assert_eq!(inst.find_missing_required_edge(&g), None);
+        // And it is navigable under every D_{p*}.
+        for p_star in 0..inst.n() {
+            let ds = inst.adversarial_dataset(p_star);
+            check_navigable(&g, &ds, &[BPoint::Query], inst.epsilon()).unwrap();
+        }
+    }
+
+    #[test]
+    fn removing_any_intra_block_edge_lets_alice_win() {
+        // The executable heart of Theorem 1.2(2).
+        let inst = BlockInstance::new(2, 2, 2);
+        let g = Graph::complete(inst.n());
+        for (p1, p2) in inst.required_edges() {
+            let broken = g.without_edge(p1, p2);
+            let viol = inst
+                .adversary_violation(&broken, p1, p2)
+                .expect("Alice must find a violation");
+            assert_eq!(viol.point, p1, "the stuck point must be p1");
+        }
+    }
+
+    #[test]
+    fn removing_an_inter_block_edge_is_harmless() {
+        let inst = BlockInstance::new(2, 2, 2);
+        // Points 0 (block 0) and 4 (block 1): not a required pair.
+        assert_ne!(inst.block_of(0), inst.block_of(4));
+        let g = Graph::complete(inst.n()).without_edge(0, 4);
+        for p_star in 0..inst.n() {
+            let ds = inst.adversarial_dataset(p_star);
+            check_navigable(&g, &ds, &[BPoint::Query], inst.epsilon()).unwrap();
+        }
+    }
+
+    #[test]
+    fn t_equals_one_forces_the_complete_digraph() {
+        // Section 1.3's observation: with t = 1 and s^d = n, every ordered
+        // pair is forced — Ω(n²), "essentially the worst possible".
+        let inst = BlockInstance::new(4, 2, 1); // n = 16 = s^d
+        assert_eq!(inst.n(), 16);
+        assert_eq!(inst.required_edge_count(), 16 * 15);
+        // The only graph containing all required edges IS the complete graph.
+        let g = Graph::complete(inst.n());
+        assert_eq!(inst.find_missing_required_edge(&g), None);
+    }
+
+    #[test]
+    fn doubling_dimension_is_bounded() {
+        // Lemma 4.1: λ <= log(1 + 2^d).
+        let inst = BlockInstance::new(3, 2, 3);
+        let ds = inst.adversarial_dataset(0);
+        let est = pg_metric::doubling::greedy_cover_log2(&ds, 60, 11);
+        let bound = (1.0 + (2.0f64).powi(inst.d as i32)).log2();
+        // Greedy covering is within a factor ~2 of optimal; allow slack 1.
+        assert!(
+            est <= 2.0 * bound + 1.0,
+            "doubling estimate {est} vs bound {bound}"
+        );
+    }
+}

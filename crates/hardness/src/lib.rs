@@ -1,0 +1,24 @@
+//! Hard instances for the lower bounds of Theorem 1.2, executable.
+//!
+//! * [`tree`] — Section 3 / Figure 1: a weighted complete binary tree whose
+//!   leaves form a metric space of doubling dimension 1; the point set
+//!   `P = P1 ∪ P2` forces any 2-PG to contain all of `P1 × P2`, i.e.
+//!   `Ω(n log Δ)` edges, **regardless of query time**.
+//! * [`block`] — Section 4 / Figure 2: `t` translated blocks of the integer
+//!   grid `(Z_s)^d` under `L_∞`, plus an adversarial query point `q` whose
+//!   distances (the family `D = {D_{p*}}`, Eq. 16) are finalized only after
+//!   the graph is built; any `(1 + 1/(2s))`-PG must contain every ordered
+//!   intra-block pair, i.e. `Ω(s^d · n)` edges.
+//!
+//! Both modules provide *verifiers* that turn the paper's proofs into
+//! executable checks: give them a graph that is missing a required edge and
+//! they exhibit the navigability violation the proof predicts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod tree;
+
+pub use block::{AdversarialMetric, BPoint, BlockInstance, LInfInt};
+pub use tree::{Leaf, TreeInstance, TreeMetric};

@@ -1,0 +1,270 @@
+//! The Section 3 hard instance (Figure 1): a tree metric of doubling
+//! dimension 1 on which any 2-PG needs `Ω(n log Δ)` edges.
+//!
+//! The metric space: leaves of a complete binary tree `T` with `2Δ = 2^h`
+//! leaves; the edge from a parent at level `ℓ` weighs `2^{ℓ-1}` (weight 1
+//! onto leaves), so the distance between distinct leaves with lowest common
+//! ancestor at level `ℓ` is exactly `2^ℓ`.
+//!
+//! The hard point set:
+//!
+//! * `P1` — all `n` leaves under `u_{log n}`, the level-`log n` node on the
+//!   leftmost root-to-leaf path (leaf indices `0..n`);
+//! * `P2` — for each level `i ∈ (h/2, h]`, one leaf in `T_i`, the right
+//!   subtree of the level-`i` node on the leftmost path (we take its
+//!   leftmost leaf, index `2^{i-1}`).
+//!
+//! Any 2-navigable graph must contain the edge `(v1, v2)` for every
+//! `(v1, v2) ∈ P1 × P2`: with query `q = v2`, every other out-neighbor of
+//! `v1` is at distance `>= D(v1, q)` from `q` (the LCA case analysis of
+//! Section 3), so `v1` would be stuck. That is `n * ceil(h/2) = Ω(n log Δ)`
+//! edges.
+
+use pg_core::navigability::{check_navigable, Violation};
+use pg_core::Graph;
+use pg_metric::{Dataset, Metric};
+
+/// A leaf of the complete binary tree, identified by its index
+/// `0 .. 2^h - 1` in left-to-right order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Leaf(pub u64);
+
+/// The tree metric: `D(a, b) = 2^{level of LCA(a, b)}`, which for leaf
+/// indices is `2^{1 + msb(a XOR b)}`.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeMetric {
+    /// Height of the tree: `2^h` leaves, root at level `h`.
+    pub h: u32,
+}
+
+impl Metric<Leaf> for TreeMetric {
+    #[inline]
+    fn dist(&self, a: &Leaf, b: &Leaf) -> f64 {
+        if a.0 == b.0 {
+            return 0.0;
+        }
+        debug_assert!(a.0 < (1u64 << self.h) && b.0 < (1u64 << self.h));
+        let msb = 63 - (a.0 ^ b.0).leading_zeros();
+        (2.0f64).powi(msb as i32 + 1)
+    }
+}
+
+/// The Section 3 hard instance.
+#[derive(Debug, Clone)]
+pub struct TreeInstance {
+    /// `n`: number of `P1` points (a power of two, `>= 2`).
+    pub n: u64,
+    /// Aspect-ratio parameter: the tree has `2Δ` leaves.
+    pub delta: u64,
+    /// `h = log2(2Δ)`.
+    pub h: u32,
+    /// The metric.
+    pub metric: TreeMetric,
+    /// `P1`: leaves `0..n` (all leaves under `u_{log n}`).
+    pub p1: Vec<Leaf>,
+    /// `P2`: one leaf in each right subtree `T_i`, `i ∈ (h/2, h]`.
+    pub p2: Vec<Leaf>,
+}
+
+impl TreeInstance {
+    /// Builds the instance. Requirements from Theorem 1.2(1): `n` and `Δ`
+    /// powers of two, `n >= 2`, and `n^2 <= 2Δ <= 2^n`.
+    pub fn new(n: u64, delta: u64) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+        assert!(delta.is_power_of_two(), "Δ must be a power of two");
+        let two_delta = 2 * delta;
+        assert!(
+            n * n <= two_delta,
+            "need n^2 <= 2Δ (got n = {n}, 2Δ = {two_delta})"
+        );
+        assert!(
+            n >= 64 || two_delta <= 1u64 << n.min(63),
+            "need 2Δ <= 2^n (got n = {n}, 2Δ = {two_delta})"
+        );
+        let h = two_delta.trailing_zeros(); // log2(2Δ)
+        assert!((2..63).contains(&h), "h = log2(2Δ) must be in [2, 63)");
+
+        let p1: Vec<Leaf> = (0..n).map(Leaf).collect();
+        // Levels i in (h/2, h]: i from floor(h/2)+1 to h. Leftmost leaf of
+        // T_i (right subtree of the level-i node on the leftmost path) has
+        // index 2^{i-1}.
+        let p2: Vec<Leaf> = ((h / 2 + 1)..=h).map(|i| Leaf(1u64 << (i - 1))).collect();
+        // Disjointness: log n <= h/2 means every P2 index is >= 2^{h/2} > n-1.
+        debug_assert!(p2.iter().all(|l| l.0 >= n));
+
+        TreeInstance {
+            n,
+            delta,
+            h,
+            metric: TreeMetric { h },
+            p1,
+            p2,
+        }
+    }
+
+    /// Total number of points `|P| = |P1| + |P2|` (between `n` and `3n/2`).
+    pub fn len(&self) -> usize {
+        self.p1.len() + self.p2.len()
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The dataset `P = P1 ∪ P2`, with `P1` occupying ids `0..n` and `P2`
+    /// ids `n..n+|P2|`.
+    pub fn dataset(&self) -> Dataset<Leaf, TreeMetric> {
+        let mut pts = self.p1.clone();
+        pts.extend_from_slice(&self.p2);
+        Dataset::new(pts, self.metric)
+    }
+
+    /// Number of edges every 2-PG must contain: `|P1| * |P2|`.
+    pub fn required_edge_count(&self) -> u64 {
+        self.n * self.p2.len() as u64
+    }
+
+    /// The required edges as dataset-id pairs `(v1, v2) ∈ P1 × P2`.
+    pub fn required_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let n = self.n as u32;
+        let m = self.p2.len() as u32;
+        (0..n).flat_map(move |a| (0..m).map(move |b| (a, n + b)))
+    }
+
+    /// The exact aspect ratio of `P` (equals `Δ`: diameter `2Δ`, minimum
+    /// distance 2).
+    pub fn aspect_ratio(&self) -> f64 {
+        self.delta as f64
+    }
+
+    /// Checks that `graph` (over [`TreeInstance::dataset`] ids) contains
+    /// every required edge; returns the first missing pair otherwise.
+    pub fn find_missing_required_edge(&self, graph: &Graph) -> Option<(u32, u32)> {
+        self.required_edges().find(|&(a, b)| !graph.has_edge(a, b))
+    }
+
+    /// Executes the proof of Section 3 on a concrete graph: given a pair
+    /// `(v1, v2) ∈ P1 × P2` whose edge is absent from `graph`, returns the
+    /// navigability violation (with query `q = v2`) that the proof predicts.
+    /// Returns `None` if the graph survives (i.e. the edge was present or
+    /// some other route works — the theorem says this cannot happen).
+    pub fn adversary_violation(&self, graph: &Graph, v1: u32, v2: u32) -> Option<Violation> {
+        assert!(
+            (v1 as usize) < self.p1.len() && (v2 as usize) >= self.p1.len(),
+            "expected v1 ∈ P1, v2 ∈ P2"
+        );
+        let data = self.dataset();
+        let q = *data.point(v2 as usize);
+        check_navigable(graph, &data, &[q], 1.0).err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_core::navigability::{check_pg_exhaustive, Starts};
+    use pg_metric::metric::axioms;
+
+    #[test]
+    fn metric_distances_match_lca_levels() {
+        let m = TreeMetric { h: 4 }; // 16 leaves
+        assert_eq!(m.dist(&Leaf(0), &Leaf(1)), 2.0); // LCA level 1
+        assert_eq!(m.dist(&Leaf(0), &Leaf(2)), 4.0); // LCA level 2
+        assert_eq!(m.dist(&Leaf(0), &Leaf(7)), 8.0); // LCA level 3
+        assert_eq!(m.dist(&Leaf(0), &Leaf(15)), 16.0); // root
+        assert_eq!(m.dist(&Leaf(5), &Leaf(5)), 0.0);
+        assert_eq!(m.dist(&Leaf(6), &Leaf(7)), 2.0);
+    }
+
+    #[test]
+    fn metric_axioms_hold() {
+        let m = TreeMetric { h: 6 };
+        let pts: Vec<Leaf> = (0..64).step_by(5).map(Leaf).collect();
+        axioms::check_all(&m, &pts).unwrap();
+    }
+
+    #[test]
+    fn instance_shape_matches_paper() {
+        // n = 8, 2Δ = 2^8 = 256 => Δ = 128, h = 8, n^2 = 64 <= 256 <= 2^8.
+        let inst = TreeInstance::new(8, 128);
+        assert_eq!(inst.h, 8);
+        assert_eq!(inst.p1.len(), 8);
+        // Levels 5..=8: 4 points.
+        assert_eq!(inst.p2.len(), 4);
+        assert_eq!(inst.required_edge_count(), 32);
+        // |P| between n and 3n/2.
+        assert!(inst.len() >= 8 && inst.len() <= 12);
+    }
+
+    #[test]
+    fn aspect_ratio_is_delta() {
+        let inst = TreeInstance::new(4, 8);
+        let ds = inst.dataset();
+        let (dmin, dmax) = ds.min_max_interpoint();
+        assert_eq!(dmin, 2.0);
+        assert_eq!(dmax, 2.0 * inst.delta as f64);
+        assert_eq!(ds.aspect_ratio_exact(), inst.aspect_ratio());
+    }
+
+    #[test]
+    fn p1_p2_disjoint_and_distances_are_lca_scales() {
+        let inst = TreeInstance::new(8, 128);
+        let ds = inst.dataset();
+        for (a, b) in inst.required_edges() {
+            let d = ds.dist(a as usize, b as usize);
+            // v2 in T_i at level i > h/2: distance is 2^i >= 2^{h/2 + 1}.
+            assert!(d >= (2.0f64).powi(inst.h as i32 / 2 + 1));
+        }
+    }
+
+    #[test]
+    fn complete_graph_survives_the_adversary() {
+        let inst = TreeInstance::new(4, 8);
+        let g = Graph::complete(inst.len());
+        assert_eq!(inst.find_missing_required_edge(&g), None);
+        let ds = inst.dataset();
+        let queries: Vec<Leaf> = (0..16).map(Leaf).collect();
+        check_pg_exhaustive(&g, &ds, &queries, 1.0, Starts::All).unwrap();
+    }
+
+    #[test]
+    fn removing_any_required_edge_breaks_navigability() {
+        // The executable heart of Theorem 1.2(1).
+        let inst = TreeInstance::new(4, 8);
+        let g = Graph::complete(inst.len());
+        for (v1, v2) in inst.required_edges() {
+            let broken = g.without_edge(v1, v2);
+            let viol = inst
+                .adversary_violation(&broken, v1, v2)
+                .expect("proof predicts a violation");
+            assert_eq!(viol.point, v1, "the stuck point must be v1");
+        }
+    }
+
+    #[test]
+    fn removing_a_non_required_edge_is_harmless() {
+        // Edges inside P1 are not required: the complete graph minus one
+        // such edge is still 2-navigable for P2 queries.
+        let inst = TreeInstance::new(4, 8);
+        let g = Graph::complete(inst.len()).without_edge(0, 1);
+        let ds = inst.dataset();
+        let queries: Vec<Leaf> = inst.p2.clone();
+        check_navigable(&g, &ds, &queries, 1.0).unwrap();
+    }
+
+    #[test]
+    fn doubling_dimension_is_one() {
+        // Appendix C: every ball splits into two half-radius balls.
+        let inst = TreeInstance::new(4, 8);
+        let ds = inst.dataset();
+        let est = pg_metric::doubling::greedy_cover_log2(&ds, 60, 9);
+        assert!(est <= 1.0 + 1e-9, "doubling estimate {est} exceeds 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "n^2 <= 2Δ")]
+    fn parameter_constraints_enforced() {
+        let _ = TreeInstance::new(32, 64); // n^2 = 1024 > 2Δ = 128
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the hard instances: metric axioms at random
+//! parameters, the exact distance formulas of Sections 3–4, and the
+//! adversary's win condition.
+
+use pg_core::Graph;
+use pg_hardness::{BlockInstance, Leaf, TreeInstance, TreeMetric};
+use pg_metric::metric::axioms;
+use pg_metric::Metric;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_metric_axioms(h in 2u32..16, a in 0u64..65536, b in 0u64..65536, c in 0u64..65536) {
+        let m = TreeMetric { h };
+        let mask = (1u64 << h) - 1;
+        let (a, b, c) = (Leaf(a & mask), Leaf(b & mask), Leaf(c & mask));
+        prop_assert!(axioms::zero_self(&m, &a));
+        prop_assert!(axioms::symmetric(&m, &a, &b));
+        prop_assert!(axioms::triangle(&m, &a, &b, &c));
+    }
+
+    #[test]
+    fn tree_metric_is_an_ultrametric(h in 2u32..16, a in 0u64..65536, b in 0u64..65536, c in 0u64..65536) {
+        // Stronger than the triangle inequality: D(a,b) <= max(D(a,c), D(b,c)).
+        let m = TreeMetric { h };
+        let mask = (1u64 << h) - 1;
+        let (a, b, c) = (Leaf(a & mask), Leaf(b & mask), Leaf(c & mask));
+        prop_assert!(m.dist(&a, &b) <= m.dist(&a, &c).max(m.dist(&b, &c)) + 1e-9);
+    }
+
+    #[test]
+    fn tree_distances_are_powers_of_two(h in 2u32..16, a in 0u64..65536, b in 0u64..65536) {
+        let m = TreeMetric { h };
+        let mask = (1u64 << h) - 1;
+        let d = m.dist(&Leaf(a & mask), &Leaf(b & mask));
+        if d > 0.0 {
+            prop_assert!(d.log2().fract().abs() < 1e-12, "distance {d} not a power of two");
+            prop_assert!(d >= 2.0 && d <= (2.0f64).powi(h as i32));
+        }
+    }
+
+    #[test]
+    fn block_instance_shape(s in 2u32..5, d in 1u32..4, t in 1u32..4) {
+        prop_assume!((s as u64).pow(d) * t as u64 <= 300);
+        let inst = BlockInstance::new(s, d, t);
+        prop_assert_eq!(inst.n() as u64, (s as u64).pow(d) * t as u64);
+        // Every intra-block distance < s; every inter-block distance >= s+1.
+        let ds = inst.data_dataset();
+        for i in 0..inst.n() {
+            for j in 0..inst.n() {
+                if i == j { continue; }
+                let dd = ds.dist(i, j);
+                if inst.block_of(i) == inst.block_of(j) {
+                    prop_assert!(dd <= (s - 1) as f64);
+                } else {
+                    prop_assert!(dd >= (s + 1) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_wins_on_random_missing_edge(
+        sel in 0usize..10_000,
+    ) {
+        let inst = BlockInstance::new(2, 2, 3);
+        let edges: Vec<(u32, u32)> = inst.required_edges().collect();
+        let (p1, p2) = edges[sel % edges.len()];
+        let broken = Graph::complete(inst.n()).without_edge(p1, p2);
+        let viol = inst.adversary_violation(&broken, p1, p2);
+        prop_assert!(viol.is_some());
+        prop_assert_eq!(viol.unwrap().point, p1);
+    }
+
+    #[test]
+    fn tree_adversary_wins_on_random_missing_edge(sel in 0usize..10_000) {
+        let inst = TreeInstance::new(8, 32);
+        let edges: Vec<(u32, u32)> = inst.required_edges().collect();
+        let (v1, v2) = edges[sel % edges.len()];
+        let broken = Graph::complete(inst.len()).without_edge(v1, v2);
+        prop_assert!(inst.adversary_violation(&broken, v1, v2).is_some());
+    }
+
+    #[test]
+    fn aspect_ratio_is_o_of_n(s in 2u32..5, t in 1u32..6) {
+        // Section 4: the aspect ratio of P is less than 2st = O(n).
+        let inst = BlockInstance::new(s, 2, t);
+        prop_assert!(inst.aspect_ratio() < 2.0 * s as f64 * t as f64);
+    }
+}

@@ -1,0 +1,96 @@
+//! Angular (great-circle) distance — the metric behind cosine-similarity
+//! retrieval.
+//!
+//! `Angular.dist(a, b) = arccos(<a, b> / (|a| |b|))`, the angle between the
+//! two vectors in radians. On the **unit sphere** this is a genuine metric
+//! (the spherical triangle inequality); on raw `R^d` it is a pseudometric
+//! (collinear vectors are at distance zero), so datasets should store
+//! normalized embeddings — which is standard practice for cosine retrieval
+//! anyway. [`normalize`] is provided for that.
+//!
+//! The unit sphere `S^{d-1}` has doubling dimension `O(d)`, so all of the
+//! paper's machinery (Theorem 1.1 in particular) applies directly — a test
+//! in this module builds `G_net` over angular distance and checks the PG
+//! property, demonstrating the library on a non-`L_p` metric.
+
+use crate::metric::Metric;
+
+/// Angular distance in radians (see module docs). Intended for unit-norm
+/// points; panics in debug builds when a zero vector is supplied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Angular;
+
+impl<P: AsRef<[f64]> + ?Sized> Metric<P> for Angular {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        let (a, b) = (a.as_ref(), b.as_ref());
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        debug_assert!(na > 0.0 && nb > 0.0, "angular distance of a zero vector");
+        (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// Normalizes a vector to unit `L_2` norm. Panics on the zero vector.
+pub fn normalize(v: &[f64]) -> Vec<f64> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    assert!(norm > 0.0, "cannot normalize the zero vector");
+    v.iter().map(|x| x / norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::axioms;
+
+    #[test]
+    fn right_angles_and_opposites() {
+        let e1 = vec![1.0, 0.0];
+        let e2 = vec![0.0, 1.0];
+        let neg = vec![-1.0, 0.0];
+        assert!((Angular.dist(&e1, &e2) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((Angular.dist(&e1, &neg) - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(Angular.dist(&e1, &e1), 0.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = vec![0.3, -0.7, 0.1];
+        let b = vec![1.0, 2.0, -0.5];
+        let scaled: Vec<f64> = b.iter().map(|x| x * 17.0).collect();
+        assert!((Angular.dist(&a, &b) - Angular.dist(&a, &scaled)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axioms_hold_on_the_unit_sphere() {
+        // Distinct unit vectors: identity, symmetry, triangle.
+        let pts: Vec<Vec<f64>> = vec![
+            normalize(&[1.0, 0.0, 0.0]),
+            normalize(&[1.0, 1.0, 0.0]),
+            normalize(&[0.2, -0.8, 0.5]),
+            normalize(&[-1.0, 0.1, 0.1]),
+            normalize(&[0.0, 0.0, 1.0]),
+        ];
+        axioms::check_all(&Angular, &pts).unwrap();
+    }
+
+    #[test]
+    fn normalize_produces_unit_vectors() {
+        let v = normalize(&[3.0, 4.0]);
+        assert!((v.iter().map(|x| x * x).sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn zero_vector_rejected() {
+        let _ = normalize(&[0.0, 0.0]);
+    }
+}

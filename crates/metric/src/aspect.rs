@@ -1,0 +1,84 @@
+//! Aspect-ratio estimation.
+//!
+//! The remark at the end of Section 2.4 explains how to remove the assumption
+//! that `d_min` and `d_max = diam(P)` are known: compute in `O(n log n)` time
+//! values `d̂_min ∈ [d_min / 2, d_min]` and `d̂_max ∈ [d_max, 2 d_max]`, so
+//! that `d̂_max / d̂_min` approximates the aspect ratio `Δ` up to a factor 4.
+//!
+//! * `d̂_max` ("take an arbitrary point p and set d̂_max = 2 max_{p'} D(p, p')")
+//!   is implemented here — it needs only `n - 1` distance evaluations.
+//! * `d̂_min` needs a 2-ANN structure; the paper-faithful implementation lives
+//!   in `pg-covertree` (`approx_min_dist`), and the hierarchical net builder
+//!   of `pg-nets` recovers an equivalent estimate for free (the deepest net
+//!   level radius lies in `[d_min / 2, d_min)`). The exact `O(n^2)` versions
+//!   are on [`crate::Dataset`] for testing.
+
+use crate::dataset::Dataset;
+use crate::metric::Metric;
+
+/// Upper estimate of the diameter from Section 2.4's remark:
+/// `d̂_max = 2 * max_{p'} D(p_0, p')`, guaranteed to lie in
+/// `[d_max, 2 d_max]` by the triangle inequality.
+///
+/// Costs exactly `n - 1` distance evaluations.
+pub fn approx_diameter<P, M: Metric<P>>(data: &Dataset<P, M>) -> f64 {
+    let mut maxd: f64 = 0.0;
+    for i in 1..data.len() {
+        maxd = maxd.max(data.dist(0, i));
+    }
+    2.0 * maxd
+}
+
+/// `ceil(log2 x)` for positive finite `x`, clamped below at 0.
+///
+/// Used throughout for the paper's level indices, e.g. `h = ceil(log diam(P))`
+/// (Eq. 1) and `η = ceil(log(1 + 2/ε))` (Eq. 3).
+pub fn ceil_log2(x: f64) -> u32 {
+    assert!(x.is_finite() && x > 0.0, "ceil_log2 of non-positive value");
+    if x <= 1.0 {
+        return 0;
+    }
+    // Floating-point log2 can land just below an integer; round carefully.
+    let l = x.log2();
+    let c = l.ceil();
+    // If x is (numerically) an exact power of two, make sure we don't round up.
+    if (2f64.powi(c as i32 - 1) - x).abs() <= f64::EPSILON * x {
+        (c as u32).saturating_sub(1)
+    } else {
+        c as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::Euclidean;
+
+    #[test]
+    fn approx_diameter_within_factor_two() {
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i as f64 * 0.37).sin() * 10.0, (i as f64 * 0.73).cos() * 3.0])
+            .collect();
+        let ds = Dataset::new(pts, Euclidean);
+        let (_, dmax) = ds.min_max_interpoint();
+        let est = approx_diameter(&ds);
+        assert!(est >= dmax - 1e-12, "estimate {est} below true diameter {dmax}");
+        assert!(est <= 2.0 * dmax + 1e-12, "estimate {est} above 2x diameter {dmax}");
+    }
+
+    #[test]
+    fn ceil_log2_exact_powers() {
+        assert_eq!(ceil_log2(1.0), 0);
+        assert_eq!(ceil_log2(2.0), 1);
+        assert_eq!(ceil_log2(4.0), 2);
+        assert_eq!(ceil_log2(1024.0), 10);
+    }
+
+    #[test]
+    fn ceil_log2_between_powers() {
+        assert_eq!(ceil_log2(3.0), 2);
+        assert_eq!(ceil_log2(5.0), 3);
+        assert_eq!(ceil_log2(1.5), 1);
+        assert_eq!(ceil_log2(0.5), 0);
+    }
+}

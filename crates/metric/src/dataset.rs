@@ -1,0 +1,202 @@
+//! Id-addressed datasets: a point collection paired with a metric.
+
+use crate::metric::Metric;
+
+/// A finite set of data points `P` together with the metric of the ambient
+/// space, addressed by dense integer ids `0..n`.
+///
+/// This mirrors the problem setup of Section 1.1: the data input is a set `P`
+/// of `n >= 2` points from a metric space `(M, D)`. Graphs in `pg-core`
+/// reference points by id (`u32`), so a `Dataset` is the bridge between graph
+/// structure and geometry.
+#[derive(Debug, Clone)]
+pub struct Dataset<P, M> {
+    points: Vec<P>,
+    metric: M,
+}
+
+impl<P, M: Metric<P>> Dataset<P, M> {
+    /// Creates a dataset. Panics if fewer than one point is supplied (the
+    /// paper assumes `n >= 2`, but single-point sets are allowed here so that
+    /// degenerate cases are testable).
+    pub fn new(points: Vec<P>, metric: M) -> Self {
+        assert!(!points.is_empty(), "dataset must contain at least one point");
+        Dataset { points, metric }
+    }
+
+    /// Number of data points `n`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with id `i`.
+    pub fn point(&self, i: usize) -> &P {
+        &self.points[i]
+    }
+
+    /// All points, id-ordered.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// The metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Distance between data points `i` and `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.metric.dist(&self.points[i], &self.points[j])
+    }
+
+    /// Distance from data point `i` to an arbitrary query point `q` of the
+    /// ambient space.
+    #[inline]
+    pub fn dist_to(&self, i: usize, q: &P) -> f64 {
+        self.metric.dist(&self.points[i], q)
+    }
+
+    /// Exact nearest neighbor of `q` by brute force: returns `(id, dist)`.
+    pub fn nearest_brute(&self, q: &P) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for i in 0..self.len() {
+            let d = self.dist_to(i, q);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+
+    /// Exact `k` nearest neighbors of `q` by brute force, ascending by
+    /// distance (ties broken by id).
+    pub fn k_nearest_brute(&self, q: &P, k: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> =
+            (0..self.len()).map(|i| (i, self.dist_to(i, q))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Nearest *other* data point to data point `i`: returns `(id, dist)`.
+    /// Panics if the dataset has fewer than two points.
+    pub fn nearest_excluding(&self, i: usize) -> (usize, f64) {
+        assert!(self.len() >= 2, "need at least two points");
+        let mut best = (usize::MAX, f64::INFINITY);
+        for j in 0..self.len() {
+            if j == i {
+                continue;
+            }
+            let d = self.dist(i, j);
+            if d < best.1 {
+                best = (j, d);
+            }
+        }
+        best
+    }
+
+    /// All ids within distance `r` of `q` (closed ball `B(q, r)`), ascending.
+    pub fn range_brute(&self, q: &P, r: f64) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.dist_to(i, q) <= r).collect()
+    }
+
+    /// Exact minimum and maximum inter-point distances `(d_min, d_max)` by
+    /// the full `O(n^2)` scan. `d_max` is the diameter `diam(P)`.
+    pub fn min_max_interpoint(&self) -> (f64, f64) {
+        assert!(self.len() >= 2, "need at least two points");
+        let mut dmin = f64::INFINITY;
+        let mut dmax: f64 = 0.0;
+        for i in 0..self.len() {
+            for j in (i + 1)..self.len() {
+                let d = self.dist(i, j);
+                dmin = dmin.min(d);
+                dmax = dmax.max(d);
+            }
+        }
+        (dmin, dmax)
+    }
+
+    /// Exact aspect ratio `Δ = diam(P) / d_min` by the full `O(n^2)` scan.
+    pub fn aspect_ratio_exact(&self) -> f64 {
+        let (dmin, dmax) = self.min_max_interpoint();
+        assert!(dmin > 0.0, "duplicate points have zero minimum distance");
+        dmax / dmin
+    }
+
+    /// Maps point ids through `f`, keeping the metric.
+    pub fn map_metric<M2: Metric<P>>(self, m2: M2) -> Dataset<P, M2> {
+        Dataset {
+            points: self.points,
+            metric: m2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::Euclidean;
+
+    fn grid_dataset() -> Dataset<Vec<f64>, Euclidean> {
+        // 3x3 unit grid.
+        let mut pts = Vec::new();
+        for x in 0..3 {
+            for y in 0..3 {
+                pts.push(vec![x as f64, y as f64]);
+            }
+        }
+        Dataset::new(pts, Euclidean)
+    }
+
+    #[test]
+    fn brute_nearest_is_correct() {
+        let ds = grid_dataset();
+        let q = vec![1.9, 1.9];
+        let (id, d) = ds.nearest_brute(&q);
+        assert_eq!(ds.point(id), &vec![2.0, 2.0]);
+        assert!((d - (0.1f64 * 0.1 * 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_exact() {
+        let ds = grid_dataset();
+        let q = vec![0.0, 0.0];
+        let knn = ds.k_nearest_brute(&q, 4);
+        assert_eq!(knn.len(), 4);
+        assert_eq!(knn[0].1, 0.0); // the corner itself
+        assert_eq!(knn[1].1, 1.0);
+        assert_eq!(knn[2].1, 1.0);
+        assert!((knn[3].1 - 2f64.sqrt()).abs() < 1e-12);
+        assert!(knn.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn min_max_and_aspect_ratio() {
+        let ds = grid_dataset();
+        let (dmin, dmax) = ds.min_max_interpoint();
+        assert_eq!(dmin, 1.0);
+        assert!((dmax - 8f64.sqrt()).abs() < 1e-12);
+        assert!((ds.aspect_ratio_exact() - 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_brute_matches_definition() {
+        let ds = grid_dataset();
+        let ids = ds.range_brute(&vec![0.0, 0.0], 1.0);
+        assert_eq!(ids, vec![0, 1, 3]); // (0,0), (0,1), (1,0)
+    }
+
+    #[test]
+    fn nearest_excluding_skips_self() {
+        let ds = grid_dataset();
+        let (j, d) = ds.nearest_excluding(4); // center point (1,1)
+        assert_ne!(j, 4);
+        assert_eq!(d, 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Metric-space kernel for the proximity-graphs workspace.
+//!
+//! This crate provides the abstractions of Section 1.1 of the paper
+//! *Proximity Graphs for Similarity Search: Fast Construction, Lower Bounds,
+//! and Euclidean Separation* (Lu & Tao, PODS 2025):
+//!
+//! * the [`Metric`] trait — a distance function `D` satisfying identity of
+//!   indiscernibles, symmetry and the triangle inequality;
+//! * concrete metrics on `R^d`: [`Euclidean`] (`L_2`), [`Chebyshev`]
+//!   (`L_inf`), [`Manhattan`] (`L_1`), and [`Angular`] (great-circle
+//!   distance on the unit sphere, for cosine-similarity embeddings);
+//! * [`Counting`], a wrapper that counts distance evaluations — the paper
+//!   measures query time in *number of distance computations*, so every
+//!   experiment in this workspace is instrumented through this type;
+//! * [`Dataset`], an id-addressed collection of points paired with a metric;
+//! * aspect-ratio utilities ([`aspect`]), including the approximation
+//!   `d̂_max ∈ [d_max, 2 d_max]` from the remark of Section 2.4;
+//! * empirical doubling-dimension estimators ([`doubling`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod angular;
+pub mod aspect;
+pub mod counter;
+pub mod dataset;
+pub mod doubling;
+pub mod lp;
+pub mod metric;
+pub mod scaled;
+
+pub use angular::{normalize, Angular};
+pub use counter::Counting;
+pub use dataset::Dataset;
+pub use lp::{Chebyshev, Euclidean, Manhattan};
+pub use metric::Metric;
+pub use scaled::Scaled;

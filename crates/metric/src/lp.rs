@@ -1,0 +1,129 @@
+//! `L_p` metrics on `R^d`.
+//!
+//! The paper works with a general metric space `(M, D)` and specializes to
+//! `(R^d, L_2)` in Section 5 and `(R^d, L_inf)` in Section 4. All three
+//! metrics here accept any point type that can be viewed as `&[f64]`
+//! (`Vec<f64>`, `[f64; N]`, slices), so datasets can store whatever layout is
+//! convenient.
+
+use crate::metric::Metric;
+
+/// The Euclidean metric `L_2(p, q) = sqrt(sum_i (p[i] - q[i])^2)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+/// The Chebyshev metric `L_inf(p, q) = max_i |p[i] - q[i]|`.
+///
+/// Used by the hard instance of Section 4, whose data-to-data distances are
+/// `L_inf` on integer blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+/// The Manhattan metric `L_1(p, q) = sum_i |p[i] - q[i]|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+/// Squared Euclidean distance; **not** a metric (fails the triangle
+/// inequality) but useful as a comparison kernel where monotonicity is all
+/// that matters. Kept separate from [`Euclidean`] so it can never be passed
+/// where a true metric is required by generic code paths that rely on the
+/// triangle inequality.
+#[inline]
+pub fn l2_squared(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance on raw slices.
+#[inline]
+pub fn l2(a: &[f64], b: &[f64]) -> f64 {
+    l2_squared(a, b).sqrt()
+}
+
+/// Chebyshev distance on raw slices.
+#[inline]
+pub fn linf(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc: f64 = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc = acc.max((x - y).abs());
+    }
+    acc
+}
+
+/// Manhattan distance on raw slices.
+#[inline]
+pub fn l1(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += (x - y).abs();
+    }
+    acc
+}
+
+impl<P: AsRef<[f64]> + ?Sized> Metric<P> for Euclidean {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        l2(a.as_ref(), b.as_ref())
+    }
+}
+
+impl<P: AsRef<[f64]> + ?Sized> Metric<P> for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        linf(a.as_ref(), b.as_ref())
+    }
+}
+
+impl<P: AsRef<[f64]> + ?Sized> Metric<P> for Manhattan {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        l1(a.as_ref(), b.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        assert_eq!(l2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(l2(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn linf_matches_hand_computation() {
+        assert_eq!(linf(&[0.0, 0.0], &[3.0, 4.0]), 4.0);
+        assert_eq!(linf(&[-1.0, 2.0], &[1.0, 2.5]), 2.0);
+    }
+
+    #[test]
+    fn l1_matches_hand_computation() {
+        assert_eq!(l1(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn norm_ordering_l_inf_le_l2_le_l1() {
+        let a = [0.3, -1.2, 4.5, 0.0];
+        let b = [-2.0, 0.7, 3.3, 9.1];
+        assert!(linf(&a, &b) <= l2(&a, &b) + 1e-12);
+        assert!(l2(&a, &b) <= l1(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn works_on_vec_and_array_points() {
+        let v1 = vec![1.0, 2.0];
+        let v2 = vec![4.0, 6.0];
+        assert_eq!(Euclidean.dist(&v1, &v2), 5.0);
+        let a1 = [1.0, 2.0];
+        let a2 = [4.0, 6.0];
+        assert_eq!(Euclidean.dist(&a1, &a2), 5.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The [`Metric`] trait.
+
+/// A metric (distance function) over points of type `P`.
+///
+/// Implementations must satisfy the metric axioms of Section 1.1:
+///
+/// 1. **Identity of indiscernibles**: `dist(a, b) == 0.0` iff `a == b`;
+/// 2. **Symmetry**: `dist(a, b) == dist(b, a)`;
+/// 3. **Triangle inequality**: `dist(a, b) <= dist(a, c) + dist(b, c)`.
+///
+/// Distances are non-negative finite `f64` values. The axioms are checked by
+/// property tests (see [`axioms`]) for every metric in the workspace,
+/// including the adversarial metric family `D_{p*}` of Section 4 implemented
+/// in `pg-hardness`.
+pub trait Metric<P: ?Sized> {
+    /// The distance `D(a, b)` between two points.
+    fn dist(&self, a: &P, b: &P) -> f64;
+}
+
+impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        (**self).dist(a, b)
+    }
+}
+
+/// Helpers for checking the metric axioms on concrete instances.
+///
+/// These are deliberately exposed as library functions (not only as tests) so
+/// that downstream crates can re-check the axioms for their own metrics —
+/// `pg-hardness` uses them to validate the adversarial metrics `D_{p*}`.
+pub mod axioms {
+    use super::Metric;
+
+    /// Absolute slack used when comparing floating-point distances.
+    pub const EPS: f64 = 1e-9;
+
+    /// Checks symmetry `D(a, b) == D(b, a)` up to floating-point slack.
+    pub fn symmetric<P: ?Sized, M: Metric<P>>(m: &M, a: &P, b: &P) -> bool {
+        let ab = m.dist(a, b);
+        let ba = m.dist(b, a);
+        ab.is_finite() && ba.is_finite() && (ab - ba).abs() <= EPS * (1.0 + ab.abs())
+    }
+
+    /// Checks non-negativity of `D(a, b)`.
+    pub fn non_negative<P: ?Sized, M: Metric<P>>(m: &M, a: &P, b: &P) -> bool {
+        m.dist(a, b) >= 0.0
+    }
+
+    /// Checks the triangle inequality `D(a, b) <= D(a, c) + D(b, c)` up to
+    /// relative floating-point slack.
+    pub fn triangle<P: ?Sized, M: Metric<P>>(m: &M, a: &P, b: &P, c: &P) -> bool {
+        let ab = m.dist(a, b);
+        let ac = m.dist(a, c);
+        let bc = m.dist(b, c);
+        ab <= ac + bc + EPS * (1.0 + ab + ac + bc)
+    }
+
+    /// Checks `D(a, a) == 0`.
+    pub fn zero_self<P: ?Sized, M: Metric<P>>(m: &M, a: &P) -> bool {
+        m.dist(a, a).abs() <= EPS
+    }
+
+    /// Checks all axioms over every (ordered) triple drawn from `pts`.
+    ///
+    /// Quadratic/cubic in `pts.len()` — intended for small test inputs.
+    pub fn check_all<P, M: Metric<P>>(m: &M, pts: &[P]) -> Result<(), String> {
+        for (i, a) in pts.iter().enumerate() {
+            if !zero_self(m, a) {
+                return Err(format!("D(p{i}, p{i}) != 0"));
+            }
+            for (j, b) in pts.iter().enumerate() {
+                if !non_negative(m, a, b) {
+                    return Err(format!("D(p{i}, p{j}) < 0"));
+                }
+                if !symmetric(m, a, b) {
+                    return Err(format!("D(p{i}, p{j}) != D(p{j}, p{i})"));
+                }
+                for (k, c) in pts.iter().enumerate() {
+                    if !triangle(m, a, b, c) {
+                        return Err(format!(
+                            "triangle inequality violated on (p{i}, p{j}, p{k})"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::axioms;
+    use crate::lp::Euclidean;
+
+    #[test]
+    fn euclidean_axioms_on_small_set() {
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![-3.5, 2.25],
+            vec![1e-9, -1e-9],
+        ];
+        axioms::check_all(&Euclidean, &pts).unwrap();
+    }
+
+    #[test]
+    fn metric_impl_for_references() {
+        // `&M` must also be a metric, so instrumented metrics can be shared.
+        fn takes_metric<M: super::Metric<Vec<f64>>>(m: M) -> f64 {
+            m.dist(&vec![0.0], &vec![3.0])
+        }
+        let e = Euclidean;
+        assert_eq!(takes_metric(e), 3.0);
+        assert_eq!(takes_metric(e), 3.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Uniform rescaling of a metric.
+//!
+//! Sections 2.1 and 5 normalize the input so that the smallest inter-point
+//! distance is 2 ("as can be achieved by scaling D appropriately"), which
+//! makes the aspect ratio `Δ = diam(P) / 2`. [`Scaled`] performs exactly that
+//! normalization without touching the stored points.
+
+use crate::metric::Metric;
+
+/// A metric multiplied by a positive constant factor.
+///
+/// Scaling preserves all metric axioms, nets scale accordingly, and greedy
+/// routing is invariant under it, so `Scaled` is safe to use anywhere a
+/// metric is expected.
+#[derive(Debug, Clone, Copy)]
+pub struct Scaled<M> {
+    inner: M,
+    factor: f64,
+}
+
+impl<M> Scaled<M> {
+    /// Scales `inner` by `factor` (> 0).
+    pub fn new(inner: M, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive and finite"
+        );
+        Scaled { inner, factor }
+    }
+
+    /// Scale factor chosen so the given minimum inter-point distance maps to
+    /// 2, matching the paper's normalization.
+    pub fn normalizing_min_dist(inner: M, d_min: f64) -> Self {
+        assert!(d_min > 0.0, "minimum distance must be positive");
+        Scaled::new(inner, 2.0 / d_min)
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<P: ?Sized, M: Metric<P>> Metric<P> for Scaled<M> {
+    #[inline]
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        self.factor * self.inner.dist(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::Euclidean;
+    use crate::metric::axioms;
+
+    #[test]
+    fn scaling_multiplies_distances() {
+        let m = Scaled::new(Euclidean, 3.0);
+        assert_eq!(m.dist(&vec![0.0], &vec![2.0]), 6.0);
+    }
+
+    #[test]
+    fn normalization_maps_dmin_to_two() {
+        let m = Scaled::normalizing_min_dist(Euclidean, 0.5);
+        assert_eq!(m.dist(&vec![0.0], &vec![0.5]), 2.0);
+    }
+
+    #[test]
+    fn scaled_metric_still_satisfies_axioms() {
+        let m = Scaled::new(Euclidean, 0.125);
+        let pts: Vec<Vec<f64>> =
+            vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![5.5, 0.25], vec![-3.0, 4.0]];
+        axioms::check_all(&m, &pts).unwrap();
+    }
+}

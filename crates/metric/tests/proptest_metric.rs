@@ -1,0 +1,103 @@
+//! Property tests for the metric kernel: axioms for every `L_p` metric on
+//! random vectors, instrumentation exactness, and estimator bands.
+
+use proptest::prelude::*;
+use pg_metric::aspect::{approx_diameter, ceil_log2};
+use pg_metric::metric::axioms;
+use pg_metric::{Chebyshev, Counting, Dataset, Euclidean, Manhattan, Metric, Scaled};
+
+fn vec3() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e4f64..1e4, 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn euclidean_axioms(a in vec3(), b in vec3(), c in vec3()) {
+        let m = Euclidean;
+        prop_assert!(axioms::zero_self(&m, &a));
+        prop_assert!(axioms::symmetric(&m, &a, &b));
+        prop_assert!(axioms::non_negative(&m, &a, &b));
+        prop_assert!(axioms::triangle(&m, &a, &b, &c));
+    }
+
+    #[test]
+    fn chebyshev_axioms(a in vec3(), b in vec3(), c in vec3()) {
+        let m = Chebyshev;
+        prop_assert!(axioms::symmetric(&m, &a, &b));
+        prop_assert!(axioms::triangle(&m, &a, &b, &c));
+    }
+
+    #[test]
+    fn manhattan_axioms(a in vec3(), b in vec3(), c in vec3()) {
+        let m = Manhattan;
+        prop_assert!(axioms::symmetric(&m, &a, &b));
+        prop_assert!(axioms::triangle(&m, &a, &b, &c));
+    }
+
+    #[test]
+    fn norm_sandwich(a in vec3(), b in vec3()) {
+        // L_inf <= L_2 <= L_1 <= d * L_inf.
+        let linf = Chebyshev.dist(&a, &b);
+        let l2 = Euclidean.dist(&a, &b);
+        let l1 = Manhattan.dist(&a, &b);
+        prop_assert!(linf <= l2 + 1e-9);
+        prop_assert!(l2 <= l1 + 1e-9);
+        prop_assert!(l1 <= 3.0 * linf + 1e-9);
+    }
+
+    #[test]
+    fn counting_is_exact(pts in prop::collection::vec(vec3(), 2..20)) {
+        let m = Counting::new(Euclidean);
+        let k = pts.len();
+        for i in 0..k {
+            for j in 0..k {
+                let _ = m.dist(&pts[i], &pts[j]);
+            }
+        }
+        prop_assert_eq!(m.count(), (k * k) as u64);
+    }
+
+    #[test]
+    fn scaling_commutes_with_distance(a in vec3(), b in vec3(), f in 0.001f64..1000.0) {
+        let m = Scaled::new(Euclidean, f);
+        let lhs = m.dist(&a, &b);
+        let rhs = f * Euclidean.dist(&a, &b);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn ceil_log2_is_correct(x in 1u64..1_000_000) {
+        let c = ceil_log2(x as f64);
+        prop_assert!((1u64 << c) >= x, "2^{c} < {x}");
+        if c > 0 {
+            prop_assert!((1u64 << (c - 1)) < x, "2^{} >= {x}", c - 1);
+        }
+    }
+
+    #[test]
+    fn approx_diameter_band(pts in prop::collection::vec(vec3(), 2..25)) {
+        let ds = Dataset::new(pts, Euclidean);
+        let (_, dmax) = ds.min_max_interpoint();
+        prop_assume!(dmax > 0.0);
+        let est = approx_diameter(&ds);
+        prop_assert!(est >= dmax - 1e-9);
+        prop_assert!(est <= 2.0 * dmax + 1e-9);
+    }
+
+    #[test]
+    fn brute_force_knn_is_sorted_and_consistent(
+        pts in prop::collection::vec(vec3(), 3..25),
+        q in vec3(),
+        k in 1usize..5,
+    ) {
+        let ds = Dataset::new(pts, Euclidean);
+        let knn = ds.k_nearest_brute(&q, k);
+        prop_assert_eq!(knn.len(), k.min(ds.len()));
+        prop_assert!(knn.windows(2).all(|w| w[0].1 <= w[1].1));
+        let (nn, d) = ds.nearest_brute(&q);
+        prop_assert_eq!(knn[0].1, d);
+        let _ = nn;
+    }
+}

@@ -1,0 +1,340 @@
+//! Seeded workload generators for the experiments.
+//!
+//! The paper's bounds are parameterized by `n` (size), `Δ` (aspect ratio),
+//! `ε` (approximation slack) and `λ` (doubling dimension), so the generators
+//! here are chosen to let each experiment sweep one parameter while pinning
+//! the rest:
+//!
+//! * [`uniform_cube`] — i.i.d. uniform points, the baseline workload;
+//! * [`gaussian_clusters`] — mixture of Gaussians (recommendation-system
+//!   style embeddings);
+//! * [`swiss_roll`] — a 2-manifold embedded in `d >= 3` ambient dimensions:
+//!   low doubling dimension despite high ambient dimension;
+//! * [`lattice`] — the integer grid: exactly controlled minimum distance;
+//! * [`geometric_chain`] — clusters at exponentially growing offsets:
+//!   `log Δ` grows linearly in the cluster count at fixed `n`, the workload
+//!   that exposes the `n log Δ` term of Theorem 1.1 versus the `Δ`-free
+//!   size of Theorem 1.3;
+//! * [`two_scale`] — a unit cluster plus a far satellite cluster at
+//!   distance `spread`: single-knob aspect-ratio control;
+//! * query generators ([`uniform_queries`], [`perturbed_queries`]).
+//!
+//! All generators take an explicit seed and are deterministic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Points type used across the workspace's Euclidean experiments.
+pub type Points = Vec<Vec<f64>>;
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// `n` i.i.d. uniform points in `[0, side]^d`.
+pub fn uniform_cube(n: usize, d: usize, side: f64, seed: u64) -> Points {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(0.0..side)).collect())
+        .collect()
+}
+
+/// `n` points from `k` Gaussian clusters with the given per-coordinate
+/// standard deviation; cluster centers are uniform in `[0, side]^d`.
+pub fn gaussian_clusters(n: usize, d: usize, k: usize, std: f64, side: f64, seed: u64) -> Points {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Points = (0..k)
+        .map(|_| (0..d).map(|_| rng.random_range(0.0..side)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % k];
+            c.iter().map(|&x| x + std * gaussian(&mut rng)).collect()
+        })
+        .collect()
+}
+
+/// `n` points on a noisy swiss-roll 2-manifold embedded in `d >= 3`
+/// dimensions (extra coordinates carry small noise): ambient dimension is
+/// `d` but the doubling dimension stays ~2.
+pub fn swiss_roll(n: usize, d: usize, seed: u64) -> Points {
+    assert!(d >= 3, "swiss roll needs ambient dimension >= 3");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t = rng.random_range(1.5..4.5 * std::f64::consts::PI);
+            let h = rng.random_range(0.0..10.0);
+            let mut p = vec![t * t.cos(), t * t.sin(), h];
+            for _ in 3..d {
+                p.push(0.01 * gaussian(&mut rng));
+            }
+            p
+        })
+        .collect()
+}
+
+/// The integer lattice `{0, spacing, ..., (side-1) * spacing}^d`
+/// (`side^d` points, exact minimum distance `spacing`).
+pub fn lattice(side: usize, d: usize, spacing: f64) -> Points {
+    assert!(side >= 1 && d >= 1);
+    let total = side.pow(d as u32);
+    assert!(total <= 4_000_000, "lattice too large: {total} points");
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; d];
+    loop {
+        out.push(idx.iter().map(|&i| i as f64 * spacing).collect());
+        let mut carry = true;
+        for c in idx.iter_mut() {
+            if carry {
+                *c += 1;
+                if *c == side {
+                    *c = 0;
+                } else {
+                    carry = false;
+                }
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    out
+}
+
+/// `clusters` unit-size clusters of `per_cluster` points each, cluster `j`
+/// centered at `x_1 = ratio^j`. The aspect ratio is ~`ratio^clusters`, so
+/// `log Δ ≈ clusters * log2(ratio)` grows while `n` stays fixed — the
+/// workload for the Euclidean-separation experiments.
+pub fn geometric_chain(clusters: usize, per_cluster: usize, ratio: f64, d: usize, seed: u64) -> Points {
+    assert!(ratio > 1.0 && clusters >= 1 && per_cluster >= 1 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(clusters * per_cluster);
+    for j in 0..clusters {
+        let cx = ratio.powi(j as i32);
+        for _ in 0..per_cluster {
+            let mut p: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
+            p[0] += cx;
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// A 1-d Cantor-dust set embedded in the plane: the `2^levels` points
+/// `x = Σ_j b_j · ratio^j` for `b ∈ {0,1}^levels`, at `y = 0`.
+///
+/// Self-similar at every scale: minimum distance 1, diameter
+/// `≈ ratio^levels`, so `log Δ ≈ levels · log2(ratio)` — sweeping `ratio` at
+/// fixed `levels` changes the aspect ratio without changing `n` or the
+/// combinatorial structure. Doubling dimension stays ~1. This is the
+/// Euclidean workload on which the `n log Δ` size of per-level nets is
+/// actually attained (the separation experiment T1.3-sep).
+pub fn cantor_dust(levels: usize, ratio: f64) -> Points {
+    assert!((1..=24).contains(&levels), "2^levels points; keep levels <= 24");
+    assert!(ratio >= 2.0, "ratio must be >= 2 for separation");
+    // Guard f64 exactness: the top digit's magnitude must keep ulp < 1, or
+    // low digits round away and points collide.
+    assert!(
+        ratio.powi(levels as i32 - 1) < (2.0f64).powi(50),
+        "ratio^levels too large for exact f64 coordinates"
+    );
+    let n = 1usize << levels;
+    (0..n)
+        .map(|mask| {
+            let mut x = 0.0;
+            for j in 0..levels {
+                if mask >> j & 1 == 1 {
+                    x += ratio.powi(j as i32);
+                }
+            }
+            vec![x, 0.0]
+        })
+        .collect()
+}
+
+/// A unit cluster of `n - satellite` points at the origin plus `satellite`
+/// points displaced by `spread` along the first axis: `Δ ≈ spread * n^{1/d}`.
+pub fn two_scale(n: usize, d: usize, satellite: usize, spread: f64, seed: u64) -> Points {
+    assert!(satellite < n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut p: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
+            if i >= n - satellite {
+                p[0] += spread;
+            }
+            p
+        })
+        .collect()
+}
+
+/// `n` points uniform on the unit sphere `S^{d-1}` (Gaussian direction
+/// method) — the natural workload for the [`pg_metric::Angular`] metric.
+pub fn unit_sphere(n: usize, d: usize, seed: u64) -> Points {
+    assert!(d >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            loop {
+                let v: Vec<f64> = (0..d).map(|_| gaussian(&mut rng)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm > 1e-9 {
+                    return v.iter().map(|x| x / norm).collect();
+                }
+            }
+        })
+        .collect()
+}
+
+/// `m` uniform query points in `[lo, hi]^d`.
+pub fn uniform_queries(m: usize, d: usize, lo: f64, hi: f64, seed: u64) -> Points {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| (0..d).map(|_| rng.random_range(lo..hi)).collect())
+        .collect()
+}
+
+/// `m` queries obtained by Gaussian-perturbing random data points — the
+/// "near-data" query distribution typical of embedding retrieval.
+pub fn perturbed_queries(data: &[Vec<f64>], m: usize, sigma: f64, seed: u64) -> Points {
+    assert!(!data.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let base = &data[rng.random_range(0..data.len())];
+            base.iter().map(|&x| x + sigma * gaussian(&mut rng)).collect()
+        })
+        .collect()
+}
+
+/// Named standard datasets for the comparison experiments: `(name, points)`.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Points)> {
+    vec![
+        ("uniform-2d", uniform_cube(n, 2, 100.0, seed)),
+        ("clusters-2d", gaussian_clusters(n, 2, 16, 1.0, 100.0, seed + 1)),
+        ("swiss-roll-3d", swiss_roll(n, 3, seed + 2)),
+        ("chain-2d", geometric_chain(16, n / 16, 3.0, 2, seed + 3)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::{Dataset, Euclidean};
+
+    #[test]
+    fn uniform_is_deterministic_and_in_bounds() {
+        let a = uniform_cube(100, 3, 10.0, 7);
+        let b = uniform_cube(100, 3, 10.0, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| p.iter().all(|&x| (0.0..10.0).contains(&x))));
+        let c = uniform_cube(100, 3, 10.0, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn lattice_has_exact_min_distance() {
+        let pts = lattice(5, 2, 2.0);
+        assert_eq!(pts.len(), 25);
+        let ds = Dataset::new(pts, Euclidean);
+        let (dmin, _) = ds.min_max_interpoint();
+        assert_eq!(dmin, 2.0);
+    }
+
+    #[test]
+    fn geometric_chain_controls_log_aspect() {
+        let small = geometric_chain(4, 10, 3.0, 2, 1);
+        let big = geometric_chain(12, 10, 3.0, 2, 1);
+        let ds_small = Dataset::new(small, Euclidean);
+        let ds_big = Dataset::new(big, Euclidean);
+        let a_small = ds_small.aspect_ratio_exact().log2();
+        let a_big = ds_big.aspect_ratio_exact().log2();
+        assert!(
+            a_big > a_small + 10.0,
+            "log aspect should grow ~linearly in clusters: {a_small} vs {a_big}"
+        );
+    }
+
+    #[test]
+    fn two_scale_spread_controls_aspect() {
+        let pts = two_scale(60, 2, 10, 1e4, 3);
+        let ds = Dataset::new(pts, Euclidean);
+        let a = ds.aspect_ratio_exact();
+        assert!(a > 1e3, "aspect {a} should be driven by the spread");
+    }
+
+    #[test]
+    fn swiss_roll_has_low_doubling_dimension() {
+        let pts = swiss_roll(400, 6, 4);
+        assert!(pts.iter().all(|p| p.len() == 6));
+        let ds = Dataset::new(pts, Euclidean);
+        // Greedy covering overestimates λ by up to ~2x; a swiss roll is a
+        // 2-manifold, so the estimate should stay well below that of a true
+        // 6-dimensional cloud (~6+) while possibly exceeding 4 slightly.
+        let est = pg_metric::doubling::greedy_cover_log2(&ds, 25, 5);
+        assert!(est <= 5.0, "swiss roll doubling estimate too high: {est}");
+        let cloud = uniform_cube(400, 6, 10.0, 44);
+        let ds6 = Dataset::new(cloud, Euclidean);
+        let est6 = pg_metric::doubling::greedy_cover_log2(&ds6, 25, 5);
+        assert!(
+            est < est6,
+            "manifold estimate {est} should undercut full 6-d cloud {est6}"
+        );
+    }
+
+    #[test]
+    fn clusters_have_k_modes() {
+        let pts = gaussian_clusters(200, 2, 4, 0.1, 100.0, 6);
+        assert_eq!(pts.len(), 200);
+        // With tiny std, points collapse near 4 centers: the 1.0-net has ~4 points.
+        let ds = Dataset::new(pts, Euclidean);
+        let ids: Vec<u32> = (0..200).collect();
+        let net = pg_nets_greedy_net(&ds, &ids, 5.0);
+        assert!(net.len() <= 8, "expected ~4 clusters, got {} net points", net.len());
+    }
+
+    // Local copy to avoid a dev-dependency cycle with pg-nets.
+    fn pg_nets_greedy_net(
+        ds: &Dataset<Vec<f64>, Euclidean>,
+        ids: &[u32],
+        r: f64,
+    ) -> Vec<u32> {
+        let mut centers: Vec<u32> = Vec::new();
+        'outer: for &p in ids {
+            for &c in &centers {
+                if ds.dist(p as usize, c as usize) <= r {
+                    continue 'outer;
+                }
+            }
+            centers.push(p);
+        }
+        centers
+    }
+
+    #[test]
+    fn perturbed_queries_stay_near_data() {
+        let data = uniform_cube(50, 2, 10.0, 9);
+        let qs = perturbed_queries(&data, 30, 0.1, 10);
+        let ds = Dataset::new(data, Euclidean);
+        for q in &qs {
+            let (_, d) = ds.nearest_brute(q);
+            assert!(d < 2.0, "query strayed {d} from the data");
+        }
+    }
+
+    #[test]
+    fn standard_suite_datasets_are_distinct_and_sized() {
+        let suite = standard_suite(160, 42);
+        assert_eq!(suite.len(), 4);
+        for (name, pts) in &suite {
+            assert!(pts.len() >= 150, "{name} too small: {}", pts.len());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build the paper's `(1+ε)`-proximity graph on random vectors,
+//! route queries greedily, and compare against brute force.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use proximity_graphs::core::{greedy, GNet};
+use proximity_graphs::metric::{Counting, Dataset, Euclidean};
+use proximity_graphs::workloads;
+
+fn main() {
+    // --- 1. Data ---------------------------------------------------------
+    // 2,000 random points in [0, 100]^2, with every distance call counted
+    // (the paper measures query time in distance computations).
+    let n = 2_000;
+    let points = workloads::uniform_cube(n, 2, 100.0, 42);
+    let data = Dataset::new(points, Counting::new(Euclidean));
+
+    // --- 2. Index --------------------------------------------------------
+    // ε = 1.0 gives a 2-approximate proximity graph (Theorem 1.1):
+    // O((1/ε)^λ · n log Δ) edges, near-linear construction.
+    let epsilon = 1.0;
+    let pg = GNet::build(&data, epsilon);
+    let build_dists = data.metric().take();
+
+    println!("G_net built: n = {n}, ε = {epsilon}");
+    println!("  net levels (≈ log Δ):   {}", pg.hierarchy.num_levels());
+    println!("  edges:                  {}", pg.graph.edge_count());
+    println!("  avg out-degree:         {:.1}", pg.graph.avg_out_degree());
+    println!("  max out-degree:         {}", pg.graph.max_out_degree());
+    println!("  build distance calls:   {build_dists} ({:.1} per point)", build_dists as f64 / n as f64);
+    println!();
+
+    // --- 3. Queries ------------------------------------------------------
+    let queries = workloads::uniform_queries(100, 2, -10.0, 110.0, 7);
+    let mut total_comps = 0u64;
+    let mut total_hops = 0usize;
+    let mut worst_ratio: f64 = 1.0;
+    for (i, q) in queries.iter().enumerate() {
+        // The start vertex is arbitrary — the (1+ε)-PG guarantee holds from
+        // anywhere. Stress that by starting at a rotating vertex.
+        let start = ((i * 37) % n) as u32;
+        data.metric().reset();
+        let out = greedy(&pg.graph, &data, start, q);
+        total_comps += out.dist_comps;
+        total_hops += out.hops.len();
+
+        let (_, exact) = data.nearest_brute(q);
+        let ratio = if exact == 0.0 {
+            1.0
+        } else {
+            out.result_dist / exact
+        };
+        worst_ratio = worst_ratio.max(ratio);
+        assert!(
+            ratio <= 1.0 + epsilon + 1e-9,
+            "(1+ε) guarantee violated: ratio {ratio}"
+        );
+    }
+    println!("100 greedy queries from arbitrary starts:");
+    println!("  avg distance calls:     {:.1}  (brute force: {n})", total_comps as f64 / 100.0);
+    println!("  avg hops:               {:.1}", total_hops as f64 / 100.0);
+    println!("  worst approx ratio:     {worst_ratio:.4}  (guarantee: {})", 1.0 + epsilon);
+    println!();
+    println!("Every query returned a (1+ε)-approximate nearest neighbor.");
+}

@@ -1,0 +1,55 @@
+//! # proximity-graphs
+//!
+//! A from-scratch Rust reproduction of **Lu & Tao, “Proximity Graphs for
+//! Similarity Search: Fast Construction, Lower Bounds, and Euclidean
+//! Separation” (PODS 2025)** — the theory behind the proximity-graph ANN
+//! paradigm (HNSW, DiskANN, NSG, …), made executable.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`metric`] | `Metric` trait, `L_p` metrics, distance-count instrumentation, aspect-ratio and doubling-dimension tools |
+//! | [`covertree`] | dynamic cover tree (insert / lazy delete / `c`-ANN / range) — the Cole–Gottlieb stand-in of Section 2.4 |
+//! | [`nets`] | `r`-nets and the near-linear hierarchical net ladder (Har-Peled–Mendel stand-in) |
+//! | [`core`] | `G_net` (Thm 1.1), `greedy`/`query` (Sec 1.1), navigability checking (Fact 2.1), θ-graphs (Sec 5.1), the merged Euclidean graph (Thm 1.3) |
+//! | [`baselines`] | brute force, slow-preprocessing DiskANN, Vamana, HNSW, NSW |
+//! | [`hardness`] | the executable lower-bound instances of Theorem 1.2 (Sections 3–4) with adversarial verifiers |
+//! | [`workloads`] | seeded dataset and query generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use proximity_graphs::core::{greedy, GNet};
+//! use proximity_graphs::metric::{Counting, Dataset, Euclidean};
+//! use proximity_graphs::workloads;
+//!
+//! // 1. Data: 500 random 2-d vectors, with distance-call counting.
+//! let points = workloads::uniform_cube(500, 2, 100.0, 42);
+//! let data = Dataset::new(points, Counting::new(Euclidean));
+//!
+//! // 2. Build the paper's (1+ε)-proximity graph for ε = 1 (a 2-ANN graph).
+//! let pg = GNet::build(&data, 1.0);
+//!
+//! // 3. Route a query greedily from an arbitrary start vertex.
+//! data.metric().reset();
+//! let q = vec![31.4, 15.9];
+//! let out = greedy(&pg.graph, &data, 0, &q);
+//!
+//! // The answer is a 2-approximate nearest neighbor...
+//! let (_, exact) = data.nearest_brute(&q);
+//! assert!(out.result_dist <= 2.0 * exact);
+//! // ...found with far fewer distance computations than a linear scan.
+//! assert!(out.dist_comps < 500);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pg_baselines as baselines;
+pub use pg_core as core;
+pub use pg_covertree as covertree;
+pub use pg_hardness as hardness;
+pub use pg_metric as metric;
+pub use pg_nets as nets;
+pub use pg_workloads as workloads;

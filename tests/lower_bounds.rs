@@ -1,0 +1,116 @@
+//! Integration: Theorem 1.2 end to end — the hard instances force their
+//! edge counts on *this library's own graphs*, and every single forced-edge
+//! deletion is caught by the verifiers.
+
+use proximity_graphs::core::{check_navigable, GNet, Graph};
+use proximity_graphs::hardness::{BPoint, BlockInstance, TreeInstance};
+
+#[test]
+fn gnet_on_tree_instance_contains_all_forced_edges() {
+    for (n, delta) in [(4u64, 8u64), (8, 32), (8, 128), (16, 128)] {
+        let inst = TreeInstance::new(n, delta);
+        let data = inst.dataset();
+        let g = GNet::build(&data, 1.0);
+        assert_eq!(
+            inst.find_missing_required_edge(&g.graph),
+            None,
+            "n={n}, Δ={delta}: G_net (a 2-PG) must pay the Ω(n log Δ) bound"
+        );
+        // And its total size is within a constant factor of the bound.
+        let ratio = g.graph.edge_count() as f64 / inst.required_edge_count() as f64;
+        assert!(ratio < 8.0, "G_net pays {ratio}x the forced count");
+    }
+}
+
+#[test]
+fn gnet_on_block_instance_contains_all_forced_edges() {
+    for (s, d, t) in [(2u32, 1u32, 3u32), (2, 2, 2), (3, 2, 2), (2, 3, 2)] {
+        let inst = BlockInstance::new(s, d, t);
+        let data = inst.data_dataset();
+        let g = GNet::build(&data, inst.epsilon());
+        assert_eq!(
+            inst.find_missing_required_edge(&g.graph),
+            None,
+            "s={s}, d={d}, t={t}: G_net must contain every intra-block pair"
+        );
+    }
+}
+
+#[test]
+fn tree_adversary_catches_every_forced_edge_deletion() {
+    let inst = TreeInstance::new(8, 32);
+    let complete = Graph::complete(inst.len());
+    for (v1, v2) in inst.required_edges() {
+        let broken = complete.without_edge(v1, v2);
+        let viol = inst
+            .adversary_violation(&broken, v1, v2)
+            .expect("deleting a forced edge must break 2-navigability");
+        assert_eq!(viol.point, v1);
+        assert_eq!(viol.nn_dist, 0.0, "query is a data point of P2");
+    }
+}
+
+#[test]
+fn block_adversary_catches_every_forced_edge_deletion() {
+    let inst = BlockInstance::new(2, 2, 3);
+    let complete = Graph::complete(inst.n());
+    for (p1, p2) in inst.required_edges() {
+        let broken = complete.without_edge(p1, p2);
+        let viol = inst
+            .adversary_violation(&broken, p1, p2)
+            .expect("Alice must win after deleting an intra-block edge");
+        assert_eq!(viol.point, p1);
+        // D(p1, q) = s, NN distance = s - 1.
+        assert_eq!(viol.dist, inst.s as f64);
+        assert_eq!(viol.nn_dist, (inst.s - 1) as f64);
+    }
+}
+
+#[test]
+fn tree_gnet_routes_every_leaf_query_correctly() {
+    // Beyond edge counting: greedy on G_net over the tree metric actually
+    // finds every leaf from every start.
+    let inst = TreeInstance::new(8, 32);
+    let data = inst.dataset();
+    let g = GNet::build(&data, 1.0);
+    let queries: Vec<_> = (0..data.len()).map(|i| *data.point(i)).collect();
+    proximity_graphs::core::check_pg_exhaustive(
+        &g.graph,
+        &data,
+        &queries,
+        1.0,
+        proximity_graphs::core::Starts::All,
+    )
+    .unwrap();
+}
+
+#[test]
+fn block_gnet_survives_every_adversary_choice() {
+    // G_net contains all intra-block edges, so no matter which p* Alice
+    // picks, navigability holds for the query q.
+    let inst = BlockInstance::new(2, 2, 2);
+    let data = inst.data_dataset();
+    let g = GNet::build(&data, inst.epsilon());
+    for p_star in 0..inst.n() {
+        let adv = inst.adversarial_dataset(p_star);
+        check_navigable(&g.graph, &adv, &[BPoint::Query], inst.epsilon())
+            .unwrap_or_else(|v| panic!("p* = {p_star}: {v}"));
+    }
+}
+
+#[test]
+fn forced_edge_counts_match_the_paper_formulas() {
+    // Statement 1: |P1| * |P2| with |P1| = n, |P2| = ceil(h/2).
+    for (n, delta) in [(4u64, 8u64), (8, 32), (16, 128), (32, 512)] {
+        let inst = TreeInstance::new(n, delta);
+        let h = inst.h as u64;
+        assert_eq!(inst.required_edge_count(), n * h.div_ceil(2));
+    }
+    // Statement 2: s^d (s^d - 1) t >= s^d * n / 2 (since s^d >= 2).
+    for (s, d, t) in [(2u32, 2u32, 3u32), (3, 2, 2), (4, 1, 5)] {
+        let inst = BlockInstance::new(s, d, t);
+        let sd = (s as u64).pow(d);
+        assert_eq!(inst.required_edge_count(), sd * (sd - 1) * t as u64);
+        assert!(inst.required_edge_count() * 2 >= sd * inst.n() as u64);
+    }
+}

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) over randomly generated inputs:
+//! metric axioms, net invariants, greedy monotonicity, PG correctness,
+//! cone covering, and the Appendix E facts used by Lemma 5.1.
+
+use proptest::prelude::*;
+use proximity_graphs::core::{check_navigable, greedy, ConeSet, GNet, ThetaGraph};
+use proximity_graphs::hardness::{AdversarialMetric, BPoint, BlockInstance};
+use proximity_graphs::metric::metric::axioms;
+use proximity_graphs::metric::{Dataset, Euclidean, Scaled};
+use proximity_graphs::nets::NetHierarchy;
+
+/// Strategy: a set of 5..40 distinct-ish random 2-d points.
+fn small_pointset() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        (0i32..4000, 0i32..4000).prop_map(|(x, y)| vec![x as f64 * 0.05, y as f64 * 0.05]),
+        5..40,
+    )
+    .prop_map(|mut pts| {
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pts.dedup();
+        pts
+    })
+    .prop_filter("need >= 5 distinct points", |pts| pts.len() >= 5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn scaled_euclidean_satisfies_metric_axioms(
+        pts in small_pointset(),
+        factor in 0.01f64..100.0,
+    ) {
+        let m = Scaled::new(Euclidean, factor);
+        prop_assert!(axioms::check_all(&m, &pts).is_ok());
+    }
+
+    #[test]
+    fn net_hierarchy_is_valid_on_random_points(pts in small_pointset()) {
+        let data = Dataset::new(pts, Euclidean);
+        let h = NetHierarchy::build(&data);
+        prop_assert!(h.validate(&data).is_ok());
+    }
+
+    #[test]
+    fn greedy_distances_strictly_descend(
+        pts in small_pointset(),
+        qx in 0.0f64..200.0,
+        qy in 0.0f64..200.0,
+        start_sel in 0usize..1000,
+    ) {
+        let data = Dataset::new(pts, Euclidean);
+        let g = GNet::build(&data, 1.0);
+        let q = vec![qx, qy];
+        let start = (start_sel % data.len()) as u32;
+        let out = greedy(&g.graph, &data, start, &q);
+        let dists: Vec<f64> = out.hops.iter()
+            .map(|&h| data.dist_to(h as usize, &q)).collect();
+        prop_assert!(dists.windows(2).all(|w| w[1] < w[0]),
+            "hop distances not strictly descending: {dists:?}");
+    }
+
+    #[test]
+    fn gnet_returns_a_2ann_for_any_query_and_start(
+        pts in small_pointset(),
+        qx in -50.0f64..250.0,
+        qy in -50.0f64..250.0,
+        start_sel in 0usize..1000,
+    ) {
+        let data = Dataset::new(pts, Euclidean);
+        let g = GNet::build(&data, 1.0);
+        let q = vec![qx, qy];
+        let start = (start_sel % data.len()) as u32;
+        let out = greedy(&g.graph, &data, start, &q);
+        let (_, exact) = data.nearest_brute(&q);
+        prop_assert!(out.result_dist <= 2.0 * exact + 1e-9,
+            "ratio {} exceeds 2", out.result_dist / exact.max(1e-12));
+    }
+
+    #[test]
+    fn theta_graph_out_degree_never_exceeds_cone_count(
+        pts in small_pointset(),
+        theta_inv in 3u32..20,
+    ) {
+        let data = Dataset::new(pts, Euclidean);
+        let t = ThetaGraph::build(&data, 1.0 / theta_inv as f64);
+        prop_assert!(t.graph.max_out_degree() <= t.cone_count);
+        prop_assert_eq!(t.graph.sink_count(), 0, "every point has a non-empty cone");
+    }
+
+    #[test]
+    fn theta_graph_matches_its_naive_reference(pts in small_pointset()) {
+        let data = Dataset::new(pts, Euclidean);
+        let fast = ThetaGraph::build(&data, 0.3);
+        let naive = ThetaGraph::build_naive(&data, 0.3);
+        prop_assert_eq!(fast.graph, naive.graph);
+    }
+
+    #[test]
+    fn cone_cover_assigns_every_nonzero_direction(
+        vx in -10.0f64..10.0,
+        vy in -10.0f64..10.0,
+        vz in -10.0f64..10.0,
+    ) {
+        prop_assume!(vx != 0.0 || vy != 0.0 || vz != 0.0);
+        let cs = ConeSet::covering(3, 0.5);
+        let v = [vx, vy, vz];
+        let c = cs.cone_of(&v);
+        prop_assert!(c.is_some());
+        let angle = cs.snap_angle(&v).unwrap();
+        prop_assert!(angle <= 0.25 + 1e-9, "snap angle {angle} exceeds theta/2");
+    }
+
+    #[test]
+    fn adversarial_metric_satisfies_axioms_for_random_parameters(
+        s in 2u32..5,
+        d in 1u32..3,
+        t in 1u32..3,
+        star_sel in 0usize..1000,
+    ) {
+        let inst = BlockInstance::new(s, d, t);
+        let p_star = star_sel % inst.n();
+        let metric = AdversarialMetric::new(s as i64, inst.points[p_star].clone());
+        let mut pts: Vec<BPoint> = inst.points.iter().cloned().map(BPoint::Data).collect();
+        pts.push(BPoint::Query);
+        // Sample a subset to keep the cubic check fast.
+        let sample: Vec<BPoint> = pts.iter().step_by(1 + pts.len() / 12).cloned().collect();
+        prop_assert!(axioms::check_all(&metric, &sample).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Appendix E facts (the geometry behind Lemma 5.1), verified numerically.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Fact E.1: tan x <= 2x for 0 <= x <= 1/2.
+    #[test]
+    fn fact_e1_tan_bound(x in 0.0f64..0.5) {
+        prop_assert!(x.tan() <= 2.0 * x + 1e-12);
+    }
+
+    /// Fact E.2: for an isosceles triangle with apex angle 0 < γ < π/2 and
+    /// equal sides l, the base is < l · tan γ.
+    #[test]
+    fn fact_e2_isosceles_base_bound(gamma in 1e-6f64..1.5, l in 0.1f64..100.0) {
+        prop_assume!(gamma < std::f64::consts::FRAC_PI_2);
+        let base = 2.0 * l * (gamma / 2.0).sin();
+        prop_assert!(base < l * gamma.tan() + 1e-9,
+            "base {base} vs l tan γ = {}", l * gamma.tan());
+    }
+
+    /// Fact E.3: for 0 <= γ <= ε/32 and 0 < ε <= 1,
+    /// (2 + ε)(2 tan γ + 1 − cos γ) < ε.
+    #[test]
+    fn fact_e3_lemma51_constant(eps in 0.001f64..1.0, frac in 0.0f64..1.0) {
+        let gamma = frac * eps / 32.0;
+        let lhs = (2.0 + eps) * (2.0 * gamma.tan() + 1.0 - gamma.cos());
+        prop_assert!(lhs < eps, "lhs {lhs} >= eps {eps} at γ = {gamma}");
+    }
+
+    /// The derived inequality inside Fact 2.2's proof:
+    /// with η = ceil(log2(1 + 2/ε)), 2^η − 1 >= 2/ε.
+    #[test]
+    fn fact22_eta_inequality(eps in 0.001f64..1.0) {
+        let eta = (1.0f64 + 2.0 / eps).log2().ceil() as i32;
+        prop_assert!((2.0f64).powi(eta) - 1.0 >= 2.0 / eps - 1e-9);
+    }
+
+    /// Lemma E.1 (shape): points on the two sphere surfaces B(q, r) and
+    /// B(q, (1+ε)r) that are equidistant from p subtend an angle > ε/8 at p.
+    /// Verified in the plane with random configurations.
+    #[test]
+    fn lemma_e1_angle_separation(
+        eps in 0.05f64..1.0,
+        r in 0.5f64..10.0,
+        // p outside B(q, (1+ε)r): its distance is (1+ε)r (greedy setting).
+        ax in 0.0f64..std::f64::consts::PI,
+    ) {
+        // q at origin; p at distance (1+eps)*r along +x; x on the inner
+        // sphere at angle ax. Find a y on the outer sphere with
+        // |p - y| = |p - x| (if one exists) and check the angle at p.
+        let q = [0.0, 0.0];
+        let p = [(1.0 + eps) * r, 0.0];
+        let x = [r * ax.cos(), r * ax.sin()];
+        let dpx = ((p[0] - x[0]).powi(2) + (p[1] - x[1]).powi(2)).sqrt();
+        // y on outer sphere: |y| = (1+eps) r, |p - y| = dpx. Law of cosines
+        // gives the angle of y as seen from q.
+        let ro = (1.0 + eps) * r;
+        let dp = (p[0].powi(2) + p[1].powi(2)).sqrt();
+        let cos_at_q = (dp * dp + ro * ro - dpx * dpx) / (2.0 * dp * ro);
+        prop_assume!(cos_at_q.abs() <= 1.0);
+        let ay = cos_at_q.acos();
+        let y = [ro * ay.cos(), ro * ay.sin()];
+        let _ = q;
+        // Angle between rays p->x and p->y.
+        let ux = [x[0] - p[0], x[1] - p[1]];
+        let uy = [y[0] - p[0], y[1] - p[1]];
+        let nx = (ux[0] * ux[0] + ux[1] * ux[1]).sqrt();
+        let ny = (uy[0] * uy[0] + uy[1] * uy[1]).sqrt();
+        prop_assume!(nx > 1e-9 && ny > 1e-9);
+        let cosang = ((ux[0] * uy[0] + ux[1] * uy[1]) / (nx * ny)).clamp(-1.0, 1.0);
+        let angle = cosang.acos();
+        // x and y genuinely on different spheres with equal distance to p.
+        prop_assume!((x[0] - y[0]).abs() + (x[1] - y[1]).abs() > 1e-9);
+        prop_assert!(angle > eps / 8.0 - 1e-9,
+            "angle {angle} <= eps/8 = {}", eps / 8.0);
+    }
+}
+
+#[test]
+fn navigability_checker_is_consistent_with_greedy_on_random_instances() {
+    // Deterministic sweep (not proptest: heavier); if check_navigable says
+    // OK then exhaustive greedy must agree, and vice versa, across a grid of
+    // configurations including broken graphs.
+    use proximity_graphs::core::{check_pg_exhaustive, Starts};
+    use proximity_graphs::workloads;
+    for seed in 0..5u64 {
+        let pts = workloads::uniform_cube(40, 2, 30.0, seed);
+        let queries = workloads::uniform_queries(8, 2, -5.0, 35.0, seed + 50);
+        let data = Dataset::new(pts, Euclidean);
+        let g = GNet::build(&data, 1.0);
+        // Progressively break the graph.
+        let mut graph = g.graph.clone();
+        for round in 0..6 {
+            let nav = check_navigable(&graph, &data, &queries, 1.0).is_ok();
+            let exh = check_pg_exhaustive(&graph, &data, &queries, 1.0, Starts::All).is_ok();
+            assert_eq!(nav, exh, "seed {seed}, round {round}: checkers disagree");
+            // Remove the out-edges of one more vertex.
+            let v = (round * 7) as u32 % 40;
+            for &t in graph.neighbors(v).to_vec().iter() {
+                graph = graph.without_edge(v, t);
+            }
+        }
+    }
+}
