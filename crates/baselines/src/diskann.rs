@@ -119,8 +119,7 @@ pub fn vamana<P, M: Metric<P>>(data: &Dataset<P, M>, params: VamanaParams) -> Gr
                     adj[u as usize].push(p as u32);
                     if adj[u as usize].len() > r {
                         let cands = std::mem::take(&mut adj[u as usize]);
-                        adj[u as usize] =
-                            robust_prune(data, u as usize, cands, params.alpha, r);
+                        adj[u as usize] = robust_prune(data, u as usize, cands, params.alpha, r);
                     }
                 }
             }

@@ -158,6 +158,9 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = random_dataset(150, 3);
-        assert_eq!(nsw(&ds, NswParams::default()), nsw(&ds, NswParams::default()));
+        assert_eq!(
+            nsw(&ds, NswParams::default()),
+            nsw(&ds, NswParams::default())
+        );
     }
 }

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     for n in [1000usize, 4000] {
         let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 3);

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn covertree(c: &mut Criterion) {
     let mut group = c.benchmark_group("covertree");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [1000usize, 8000] {
         let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 5);
@@ -62,7 +64,9 @@ fn covertree(c: &mut Criterion) {
             i += 1;
             let mut deleted = Vec::new();
             for _ in 0..8 {
-                let Some((y, _)) = tree.ann(&q, 2.0) else { break };
+                let Some((y, _)) = tree.ann(&q, 2.0) else {
+                    break;
+                };
                 tree.remove(y);
                 deleted.push(y);
             }

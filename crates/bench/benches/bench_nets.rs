@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn nets(c: &mut Criterion) {
     let mut group = c.benchmark_group("nets");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [1000usize, 8000] {
         let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 11);

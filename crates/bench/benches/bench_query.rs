@@ -20,7 +20,9 @@ fn query(c: &mut Criterion) {
     let hnsw = Hnsw::build(&data, HnswParams::default());
 
     let mut group = c.benchmark_group("query_n8000");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function(BenchmarkId::new("greedy_gnet", n), |b| {
         let mut i = 0usize;

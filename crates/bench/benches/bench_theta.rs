@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn theta(c: &mut Criterion) {
     let mut group = c.benchmark_group("theta");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [1000usize, 8000] {
         let pts = workloads::uniform_cube(n, 2, 100.0, 13);

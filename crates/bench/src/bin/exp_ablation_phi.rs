@@ -28,7 +28,10 @@ fn main() {
     let n = if full_mode() { 1000 } else { 400 };
     let datasets: Vec<(&str, Vec<Vec<f64>>)> = vec![
         ("uniform", workloads::uniform_cube(n, 2, 120.0, 61)),
-        ("clusters", workloads::gaussian_clusters(n, 2, 10, 1.5, 120.0, 62)),
+        (
+            "clusters",
+            workloads::gaussian_clusters(n, 2, 10, 1.5, 120.0, 62),
+        ),
         ("chain", workloads::geometric_chain(10, n / 10, 4.0, 2, 63)),
     ];
 
@@ -41,7 +44,10 @@ fn main() {
         let data = Dataset::new(points, Euclidean);
         let hierarchy = NetHierarchy::build(&data);
 
-        println!("## workload: {name} (n = {n}, logΔ ≈ {})\n", hierarchy.log_aspect());
+        println!(
+            "## workload: {name} (n = {n}, logΔ ≈ {})\n",
+            hierarchy.log_aspect()
+        );
         let mut t = Table::new(&["φ", "vs paper", "edges", "navigable?", "worst greedy ratio"]);
         for phi in [1.5, 2.0, 3.0, 5.0, 7.0, paper_phi, 12.0] {
             let g = gnet_edges_with_phi(&data, &hierarchy, phi);
@@ -56,7 +62,11 @@ fn main() {
                 },
                 g.edge_count().to_string(),
                 if nav { "yes".into() } else { "NO".to_string() },
-                if worst.is_finite() { fmt(worst, 3) } else { "∞".into() },
+                if worst.is_finite() {
+                    fmt(worst, 3)
+                } else {
+                    "∞".into()
+                },
             ]);
             if (phi - paper_phi).abs() < 1e-9 {
                 assert!(nav, "the paper's constant must always be navigable");

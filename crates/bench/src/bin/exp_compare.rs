@@ -60,24 +60,52 @@ fn main() {
         let t0 = Instant::now();
         let gnet = GNet::build_fast(&data, 1.0);
         let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
-        greedy_row(&mut table, "G_net fast (Thm1.1)", &gnet.graph, bd, bs, "2-ANN any start");
+        greedy_row(
+            &mut table,
+            "G_net fast (Thm1.1)",
+            &gnet.graph,
+            bd,
+            bs,
+            "2-ANN any start",
+        );
 
         let t0 = Instant::now();
         let ct = GNet::build_covertree(&data, 1.0);
         let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
-        greedy_row(&mut table, "G_net Sec2.4 build", &ct.graph, bd, bs, "2-ANN any start");
+        greedy_row(
+            &mut table,
+            "G_net Sec2.4 build",
+            &ct.graph,
+            bd,
+            bs,
+            "2-ANN any start",
+        );
 
         let theta = if dim <= 2 { 0.25 } else { 0.7 };
         let t0 = Instant::now();
         let merged = MergedGraph::build(&data, MergedParams::new(1.0).with_theta(theta));
         let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
-        greedy_row(&mut table, "merged (Thm1.3)", &merged.graph, bd, bs, "2-ANN any start");
+        greedy_row(
+            &mut table,
+            "merged (Thm1.3)",
+            &merged.graph,
+            bd,
+            bs,
+            "2-ANN any start",
+        );
 
         if n <= 2500 || full_mode() {
             let t0 = Instant::now();
             let slow = slow_preprocessing(&data, 3.0);
             let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
-            greedy_row(&mut table, "DiskANN-slow α=3", &slow, bd, bs, "2-ANN any start");
+            greedy_row(
+                &mut table,
+                "DiskANN-slow α=3",
+                &slow,
+                bd,
+                bs,
+                "2-ANN any start",
+            );
         }
 
         let t0 = Instant::now();

@@ -52,7 +52,10 @@ fn main() {
             inst.required_edge_count().to_string(),
             formula.to_string(),
             gnet.graph.edge_count().to_string(),
-            fmt(gnet.graph.edge_count() as f64 / inst.required_edge_count() as f64, 2),
+            fmt(
+                gnet.graph.edge_count() as f64 / inst.required_edge_count() as f64,
+                2,
+            ),
         ]);
     }
     t.print();

@@ -31,7 +31,15 @@ fn main() {
     }
 
     let mut t = Table::new(&[
-        "s", "d", "t", "n", "ε=1/(2s)", "forced s^d(s^d-1)t", "s^d·n", "G_net edges", "G_net/forced",
+        "s",
+        "d",
+        "t",
+        "n",
+        "ε=1/(2s)",
+        "forced s^d(s^d-1)t",
+        "s^d·n",
+        "G_net edges",
+        "G_net/forced",
     ]);
     for (s, d, tt) in combos {
         let inst = BlockInstance::new(s, d, tt);
@@ -52,7 +60,10 @@ fn main() {
             inst.required_edge_count().to_string(),
             (sd * inst.n() as u64).to_string(),
             gnet.graph.edge_count().to_string(),
-            fmt(gnet.graph.edge_count() as f64 / inst.required_edge_count() as f64, 2),
+            fmt(
+                gnet.graph.edge_count() as f64 / inst.required_edge_count() as f64,
+                2,
+            ),
         ]);
     }
     t.print();

@@ -77,7 +77,11 @@ fn main() {
             if sd.is_nan() { "-".into() } else { fmt(sd, 0) },
             fmt(fast_secs, 3),
             fmt(naive_secs, 3),
-            if slow_secs.is_nan() { "-".into() } else { fmt(slow_secs, 3) },
+            if slow_secs.is_nan() {
+                "-".into()
+            } else {
+                fmt(slow_secs, 3)
+            },
         ]);
 
         xs.push(n as f64);
@@ -92,11 +96,23 @@ fn main() {
     t.print();
 
     println!("\nFitted log-log slopes (distance computations vs n):");
-    println!("  fast (cascade, Thm 1.1):      {:.2}   — theory ~1 (near-linear)", loglog_slope(&xs, &fast_d));
-    println!("  covertree (Sec 2.4 verbatim): {:.2}   — theory ~1 (polylog per point)", loglog_slope(&xs, &ct_d));
-    println!("  naive full-scan:              {:.2}   — theory ~2 (n · Σ|Y_i|)", loglog_slope(&xs, &naive_d));
+    println!(
+        "  fast (cascade, Thm 1.1):      {:.2}   — theory ~1 (near-linear)",
+        loglog_slope(&xs, &fast_d)
+    );
+    println!(
+        "  covertree (Sec 2.4 verbatim): {:.2}   — theory ~1 (polylog per point)",
+        loglog_slope(&xs, &ct_d)
+    );
+    println!(
+        "  naive full-scan:              {:.2}   — theory ~2 (n · Σ|Y_i|)",
+        loglog_slope(&xs, &naive_d)
+    );
     if slow_d.len() >= 2 {
-        println!("  DiskANN slow-preprocessing:   {:.2}   — theory ~2+ (the barrier Thm 1.1 breaks)", loglog_slope(&slow_x, &slow_d));
+        println!(
+            "  DiskANN slow-preprocessing:   {:.2}   — theory ~2+ (the barrier Thm 1.1 breaks)",
+            loglog_slope(&slow_x, &slow_d)
+        );
     }
     println!("\nAll three G_net builders produce identical graphs (asserted in tests).");
 }

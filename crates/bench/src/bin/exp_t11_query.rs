@@ -56,7 +56,14 @@ fn main() {
     let pts = workloads::uniform_cube(n, 2, 260.0, 23);
     let data = Dataset::new(pts, Euclidean);
     let queries = workloads::uniform_queries(40, 2, -20.0, 280.0, 24);
-    let mut t = Table::new(&["ε", "φ", "dists/query", "hops", "worst ratio", "guarantee 1+ε"]);
+    let mut t = Table::new(&[
+        "ε",
+        "φ",
+        "dists/query",
+        "hops",
+        "worst ratio",
+        "guarantee 1+ε",
+    ]);
     for eps in [1.0, 0.5, 0.25] {
         let g = GNet::build_fast(&data, eps);
         let (dists, hops, worst) = measure_greedy(&g.graph, &data, &queries);

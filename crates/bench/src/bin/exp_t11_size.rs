@@ -76,7 +76,13 @@ fn main() {
     let g = GNet::build_fast(&data, 1.0);
     let phi = g.params.phi;
     let n2 = data.len();
-    let mut t = Table::new(&["level", "radius", "|Y_i|", "avg deg@lvl", "packing bound (2φ)^λ·8^λ"]);
+    let mut t = Table::new(&[
+        "level",
+        "radius",
+        "|Y_i|",
+        "avg deg@lvl",
+        "packing bound (2φ)^λ·8^λ",
+    ]);
     for (i, lvl) in g.hierarchy.levels().iter().enumerate() {
         // Count edges attributable to this level: targets within φ·r_i that
         // are centers of Y_i (recount; diagnostic only).

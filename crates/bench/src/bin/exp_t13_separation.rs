@@ -104,7 +104,10 @@ fn main() {
     println!("  A. tree metric, forced (Thm 1.2(1)): {f_slope:+.3}  — every 2-PG pays ~log Δ / 2");
     println!("  B. Euclidean, merged (Thm 1.3):      {m_slope:+.3}  — bounded: O((1/ε)^λ · n)");
     println!("     (τ = z/log Δ shrinks, so the merged size *decreases* toward the θ floor)");
-    assert!(f_slope > 0.3, "tree-side growth not visible: slope {f_slope}");
+    assert!(
+        f_slope > 0.3,
+        "tree-side growth not visible: slope {f_slope}"
+    );
     assert!(
         m_slope < 0.15 * f_slope,
         "Euclidean side grows with Δ: merged slope {m_slope} vs forced slope {f_slope}"

@@ -20,7 +20,14 @@ fn main() {
 
     // ---- Cone family quality ------------------------------------------------
     let mut t = Table::new(&["d", "θ", "cones", "covering gap", "θ/2 ceiling"]);
-    for (d, theta) in [(2usize, 0.5f64), (2, 0.125), (2, 1.0 / 32.0), (3, 0.6), (3, 0.3), (4, 0.9)] {
+    for (d, theta) in [
+        (2usize, 0.5f64),
+        (2, 0.125),
+        (2, 1.0 / 32.0),
+        (3, 0.6),
+        (3, 0.3),
+        (4, 0.9),
+    ] {
         let cs = ConeSet::covering(d, theta);
         let gap = cs.covering_gap(if full_mode() { 20000 } else { 4000 }, 77);
         assert!(gap <= theta / 2.0 + 1e-9, "covering property violated");
@@ -44,7 +51,14 @@ fn main() {
     let eps = 1.0;
 
     let mut t = Table::new(&["θ", "θ vs ε/32", "cones", "edges/p", "(1+ε)-navigable?"]);
-    for theta in [eps / 32.0, eps / 16.0, eps / 8.0, eps / 4.0, eps / 2.0, 1.2f64] {
+    for theta in [
+        eps / 32.0,
+        eps / 16.0,
+        eps / 8.0,
+        eps / 4.0,
+        eps / 2.0,
+        1.2f64,
+    ] {
         let tg = ThetaGraph::build(&data, theta.min(1.5));
         let nav = check_navigable(&tg.graph, &data, &queries, eps).is_ok();
         t.row(vec![
@@ -74,7 +88,10 @@ fn main() {
             fmt(inv, 0),
             tg.cone_count.to_string(),
             fmt(tg.graph.edge_count() as f64 / n as f64, 1),
-            fmt(tg.graph.edge_count() as f64 / n as f64 / tg.cone_count as f64, 3),
+            fmt(
+                tg.graph.edge_count() as f64 / n as f64 / tg.cone_count as f64,
+                3,
+            ),
         ]);
     }
     t.print();

@@ -21,7 +21,11 @@ pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
     let ly: Vec<f64> = ys.iter().map(|&y| y.ln()).collect();
     let mx = lx.iter().sum::<f64>() / lx.len() as f64;
     let my = ly.iter().sum::<f64>() / ly.len() as f64;
-    let cov: f64 = lx.iter().zip(ly.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let cov: f64 = lx
+        .iter()
+        .zip(ly.iter())
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
     let var: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
     cov / var
 }
@@ -32,7 +36,11 @@ pub fn linear_slope(xs: &[f64], ys: &[f64]) -> f64 {
     assert!(xs.len() >= 2);
     let mx = xs.iter().sum::<f64>() / xs.len() as f64;
     let my = ys.iter().sum::<f64>() / ys.len() as f64;
-    let cov: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let cov: f64 = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
     let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     cov / var
 }

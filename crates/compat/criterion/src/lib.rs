@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the API the `benches/` targets consume — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical engine.
+//!
+//! Behavior:
+//!
+//! * `cargo bench` runs each benchmark for `sample_size` samples (bounded
+//!   by `measurement_time`) after one warm-up sample, and prints the mean
+//!   wall-clock time per iteration;
+//! * when invoked with `--test` (as `cargo test --benches` does for
+//!   `harness = false` targets), each benchmark body runs exactly once so
+//!   the target doubles as a smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every `criterion_group!` target function.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+/// A named benchmark within a group; `new("op", param)` renders as
+/// `op/param`, matching criterion's display convention.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to record per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark (default 3 s).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        if self.criterion.test_mode {
+            b.once = true;
+            f(&mut b);
+            println!("test {}/{} ... ok", self.name, id.id);
+            return self;
+        }
+        // One warm-up sample, then measure.
+        f(&mut b);
+        b = Bencher::default();
+        let budget = Instant::now();
+        let mut samples = 0;
+        while samples < self.sample_size && budget.elapsed() < self.measurement_time {
+            f(&mut b);
+            samples += 1;
+        }
+        let mean = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: mean {:?} over {} samples ({} iters)",
+            self.name, id.id, mean, samples, b.iters
+        );
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (accepted for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    once: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, accumulating into the enclosing sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let reps: u64 = if self.once {
+            1
+        } else {
+            1.max(self.iters_hint())
+        };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
+    }
+
+    fn iters_hint(&self) -> u64 {
+        // Keep per-sample cost bounded: a single rep per sample. The
+        // workspace's routines are all >> 1 µs, so timer resolution is fine.
+        1
+    }
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            once: false,
+        }
+    }
+}
+
+/// Defines a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy is
+/// just a deterministic function of the runner's RNG state. Filters reject
+/// by returning [`TestCaseError::Reject`], which the runner retries.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value (or a rejection, for filtered strategies).
+    fn gen_value(&self, rng: &mut StdRng) -> Result<Self::Value, TestCaseError>;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred`; the runner retries the case.
+    /// `reason` appears in the too-many-rejections panic message.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Result<O, TestCaseError> {
+        self.inner.gen_value(rng).map(&self.f)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut StdRng) -> Result<S::Value, TestCaseError> {
+        let v = self.inner.gen_value(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(TestCaseError::Reject(self.reason))
+        }
+    }
+}
+
+// Numeric ranges are strategies: `0i32..2000`, `-1e4f64..1e4`, `1u64..=9`.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut StdRng) -> Result<$t, TestCaseError> {
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+    (inclusive $($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut StdRng) -> Result<$t, TestCaseError> {
+                Ok(rng.random_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+impl_range_strategy!(inclusive i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Always produces a clone of one value (real proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut StdRng) -> Result<T, TestCaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut StdRng) -> Result<Self::Value, TestCaseError> {
+                let ($($name,)+) = self;
+                Ok(($($name.gen_value(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// Keep the unused-import lint honest: SampleRange is what makes
+// `rng.random_range(self.clone())` compile for both range flavors.
+#[allow(unused)]
+fn _assert_sample_range<T, S: SampleRange<T>>() {}

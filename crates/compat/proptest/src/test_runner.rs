@@ -1,0 +1,203 @@
+//! Deterministic case runner and the `proptest!` / `prop_assert!` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was filtered out (`prop_filter` / `prop_assume!`); the
+    /// runner draws a fresh case without counting this one.
+    Reject(&'static str),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+/// Runner configuration. Only `cases` is supported.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property: generates cases until `config.cases` pass,
+/// panicking on the first failure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Build a runner with the given config.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run `case` until `config.cases` successes. The RNG is seeded from
+    /// `name` (FNV-1a), so each property sees its own deterministic stream
+    /// and failures reproduce exactly on rerun.
+    pub fn run<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+        let target = self.config.cases as u64;
+        // Generous rejection budget: local filters (point-set dedup etc.)
+        // reject only a small fraction of draws.
+        let max_attempts = target * 20 + 1000;
+        let mut passed = 0u64;
+        let mut attempts = 0u64;
+        let mut last_reject = "";
+        while passed < target {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "proptest '{name}': gave up after {attempts} attempts \
+                     ({passed}/{target} cases passed; last rejection: {last_reject:?})"
+                );
+            }
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => last_reject = reason,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}': case {} failed: {msg}", passed + 1)
+                }
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Defines property tests. Mirrors real proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0i32..9, 1..5)) {
+///         prop_assert!(v.len() < 5);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(stringify!($name), |__pt_rng| {
+                $crate::__proptest_bind!(__pt_rng; $($params)*);
+                #[allow(unused_mut)]
+                let mut __pt_case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __pt_case()
+            });
+        }
+    )*};
+}
+
+/// Implementation detail of [`proptest!`]: binds `pat in strategy` params.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::gen_value(&($strat), $rng)?;
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::gen_value(&($strat), $rng)?;
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// `assert!` for property bodies: fails the case instead of panicking
+/// directly, so the runner can attribute it to the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: {lhs:?}\n right: {rhs:?}",
+            stringify!($lhs),
+            stringify!($rhs)
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        let ctx = format!($($fmt)+);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`: {ctx}\n  left: {lhs:?}\n right: {rhs:?}",
+            stringify!($lhs),
+            stringify!($rhs)
+        );
+    }};
+}
+
+/// Reject the current case without failing the test; the runner retries
+/// with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

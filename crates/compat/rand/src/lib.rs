@@ -1,0 +1,228 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! an API-compatible replacement for exactly the surface the workspace
+//! consumes:
+//!
+//! * [`rngs::StdRng`] — a small, fast, deterministic generator
+//!   (SplitMix64), seedable via [`SeedableRng::seed_from_u64`];
+//! * [`RngExt::random_range`] over integer and float ranges and
+//!   [`RngExt::random_bool`];
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Determinism contract: for a fixed seed, every method produces the same
+//! sequence on every platform — all workspace experiments rely on this.
+//! The streams are *not* the same as the real `rand` crate's; only the API
+//! matches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Random number generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (SplitMix64 under the hood).
+    ///
+    /// Statistically solid for simulation workloads, trivially seedable and
+    /// platform-independent. Not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014). One addition, three
+            // xor-shift-multiply rounds; passes BigCrush when used as here.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the raw seed once so that consecutive small seeds
+            // (0, 1, 2, ...) do not produce correlated first outputs.
+            let mut rng = StdRng::from_state(seed ^ 0x5DEE_CE66_D1CE_4E5B);
+            let _ = crate::RngCore::next_u64(&mut rng);
+            rng
+        }
+    }
+}
+
+/// A source of random 64-bit words; every RNG implements this.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly. Implemented for `Range<T>`
+/// (`lo..hi`) over the numeric types the workspace uses.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is < 2^-64 per draw at workspace range sizes.
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = $unit(rng); // in [0, 1)
+                let v = self.start + u * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl_sample_float!(f64 => unit_f64, f32 => unit_f32);
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use crate::{RngCore, RngExt};
+
+    /// Extension trait adding in-place shuffling to slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle using `rng`.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3i32..17);
+            assert!((3..17).contains(&x));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.random_range(0usize..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn float_sampling_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..1000).map(|_| rng.random_range(0.0f64..1.0)).collect();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < 0.05 && hi > 0.95, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

@@ -3,7 +3,7 @@
 //! The paper's construction is static; its motivating applications
 //! (recommendation systems, entity matching — §1) are not. This module adds
 //! the standard *logarithmic-rebuilding* dynamization on top of
-//! [`GNet`](crate::GNet), preserving the worst-case `(1+ε)` guarantee at all
+//! [`crate::GNet`], preserving the worst-case `(1+ε)` guarantee at all
 //! times:
 //!
 //! * inserts go to a **buffer** scanned exhaustively at query time; when the
@@ -172,7 +172,10 @@ impl<P: Clone, M: Metric<P> + Clone> DynamicGNet<P, M> {
         if ids.len() < 2 {
             self.snapshot = None;
         } else {
-            let pts: Vec<P> = ids.iter().map(|&id| self.points[id as usize].clone()).collect();
+            let pts: Vec<P> = ids
+                .iter()
+                .map(|&id| self.points[id as usize].clone())
+                .collect();
             let data = Dataset::new(pts, self.metric.clone());
             let gnet = GNet::build_fast(&data, self.epsilon);
             self.snapshot = Some((data, gnet, ids));
@@ -221,7 +224,11 @@ impl<P: Clone, M: Metric<P> + Clone> DynamicGNet<P, M> {
         // 2. Exact scan of the buffer.
         for &id in &self.buffer {
             comps += 1;
-            offer(id, self.metric.dist(&self.points[id as usize], q), &mut best);
+            offer(
+                id,
+                self.metric.dist(&self.points[id as usize], q),
+                &mut best,
+            );
         }
 
         best.map(|(id, dist)| DynamicAnswer {
@@ -239,10 +246,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn brute_live(
-        idx: &DynamicGNet<Vec<f64>, Euclidean>,
-        q: &Vec<f64>,
-    ) -> Option<(u64, f64)> {
+    fn brute_live(idx: &DynamicGNet<Vec<f64>, Euclidean>, q: &Vec<f64>) -> Option<(u64, f64)> {
         let mut best: Option<(u64, f64)> = None;
         for id in 0..idx.points.len() as u64 {
             if !idx.alive[id as usize] {
@@ -264,7 +268,11 @@ mod tests {
         }
         let ans = idx.query(&vec![3.4, 0.0]).unwrap();
         assert_eq!(ans.id, 3);
-        assert_eq!(idx.stats().rebuilds, 0, "below min_index_size: no graph yet");
+        assert_eq!(
+            idx.stats().rebuilds,
+            0,
+            "below min_index_size: no graph yet"
+        );
     }
 
     #[test]
@@ -338,7 +346,10 @@ mod tests {
         let mut idx = DynamicGNet::new(Counting::new(Euclidean), 1.0);
         let n = 800usize;
         for _ in 0..n {
-            idx.insert(vec![rng.random_range(0.0..80.0), rng.random_range(0.0..80.0)]);
+            idx.insert(vec![
+                rng.random_range(0.0..80.0),
+                rng.random_range(0.0..80.0),
+            ]);
         }
         let total = idx.metric().count();
         // The geometric rebuild schedule costs a constant times ONE static

@@ -259,11 +259,8 @@ impl GNetIndependent {
         // Reuse the fast hierarchy only to learn the radius ladder; the nets
         // themselves are drawn independently per level.
         let ladder = NetHierarchy::build(data);
-        let levels = pg_nets::independent_hierarchy(
-            data,
-            ladder.top_radius(),
-            ladder.bottom_radius(),
-        );
+        let levels =
+            pg_nets::independent_hierarchy(data, ladder.top_radius(), ladder.bottom_radius());
         Self::build_on(data, epsilon, levels)
     }
 
@@ -422,7 +419,10 @@ mod tests {
         let mut pts = Vec::new();
         for j in 0..10 {
             for k in 0..8 {
-                pts.push(vec![(4.0f64).powi(j) + k as f64 * 0.05, (k % 3) as f64 * 0.05]);
+                pts.push(vec![
+                    (4.0f64).powi(j) + k as f64 * 0.05,
+                    (k % 3) as f64 * 0.05,
+                ]);
             }
         }
         let ds = Dataset::new(pts, Euclidean);

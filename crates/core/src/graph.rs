@@ -76,7 +76,10 @@ impl Graph {
 
     /// Maximum out-degree over all vertices.
     pub fn max_out_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.out_degree(v as u32)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.out_degree(v as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average out-degree (edges per vertex).
@@ -126,7 +129,9 @@ impl Graph {
     /// Number of vertices with out-degree zero (a healthy proximity graph
     /// has none; see Proposition 2.1).
     pub fn sink_count(&self) -> usize {
-        (0..self.n() as u32).filter(|&v| self.out_degree(v) == 0).count()
+        (0..self.n() as u32)
+            .filter(|&v| self.out_degree(v) == 0)
+            .count()
     }
 
     /// Out-degree histogram: `hist[d]` = number of vertices with out-degree

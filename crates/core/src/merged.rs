@@ -224,7 +224,11 @@ mod tests {
         }
         let ds = Dataset::new(pts, Euclidean);
         let m = MergedGraph::build(&ds, MergedParams::new(1.0));
-        assert!(m.tau < 0.2, "tau should be small at log Δ ~ 47, got {}", m.tau);
+        assert!(
+            m.tau < 0.2,
+            "tau should be small at log Δ ~ 47, got {}",
+            m.tau
+        );
         assert!(
             m.graph.edge_count() < m.gnet_edges,
             "merged {} vs full G_net {}",

@@ -244,7 +244,11 @@ mod tests {
         let g = path_graph(30);
         let q = vec![22.4];
         let out = greedy(&g, &ds, 3, &q);
-        let dists: Vec<f64> = out.hops.iter().map(|&h| ds.dist_to(h as usize, &q)).collect();
+        let dists: Vec<f64> = out
+            .hops
+            .iter()
+            .map(|&h| ds.dist_to(h as usize, &q))
+            .collect();
         assert!(dists.windows(2).all(|w| w[1] < w[0]));
     }
 

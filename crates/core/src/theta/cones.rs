@@ -310,7 +310,10 @@ mod tests {
     #[test]
     fn sector_count_matches_theta() {
         let cs = ConeSet::covering(2, 0.5);
-        assert_eq!(cs.count(), (2.0 * std::f64::consts::PI / 0.5).ceil() as usize);
+        assert_eq!(
+            cs.count(),
+            (2.0 * std::f64::consts::PI / 0.5).ceil() as usize
+        );
     }
 
     #[test]
@@ -341,7 +344,10 @@ mod tests {
     fn grid_snap_covers_3d() {
         let cs = ConeSet::covering(3, 0.6);
         let gap = cs.covering_gap(3000, 99);
-        assert!(gap <= 0.3 + 1e-9, "covering gap {gap} exceeds theta/2 = 0.3");
+        assert!(
+            gap <= 0.3 + 1e-9,
+            "covering gap {gap} exceeds theta/2 = 0.3"
+        );
     }
 
     #[test]
@@ -384,7 +390,10 @@ mod tests {
     fn cone_count_scales_inversely_with_theta_2d() {
         let big = ConeSet::covering(2, 0.8).count();
         let small = ConeSet::covering(2, 0.2).count();
-        assert!(small >= 3 * big, "expected ~4x more cones: {small} vs {big}");
+        assert!(
+            small >= 3 * big,
+            "expected ~4x more cones: {small} vs {big}"
+        );
     }
 
     #[test]

@@ -58,7 +58,12 @@ impl<'d, P, M: Metric<P>> CoverTree<'d, P, M> {
         // own point distance so it is computed exactly once.
         let mut heap: BinaryHeap<Reverse<(Key, u32)>> = BinaryHeap::new();
         let d_root = self.dist_q(self.nodes[root as usize].point, q);
-        consider(self.nodes[root as usize].point, d_root, &mut best, &mut best_id);
+        consider(
+            self.nodes[root as usize].point,
+            d_root,
+            &mut best,
+            &mut best_id,
+        );
         let lb_root = (d_root - self.subtree_bound(root)).max(0.0);
         heap.push(Reverse((Key(lb_root), root)));
 
@@ -96,22 +101,23 @@ impl<'d, P, M: Metric<P>> CoverTree<'d, P, M> {
         // by point id (the root point may appear at several nodes).
         let mut topk: BinaryHeap<(Key, u32)> = BinaryHeap::new();
         let mut in_topk: Vec<bool> = vec![false; self.data.len()];
-        let offer = |pid: u32, d: f64, topk: &mut BinaryHeap<(Key, u32)>, in_topk: &mut Vec<bool>| {
-            if self.dead[pid as usize] || in_topk[pid as usize] {
-                return;
-            }
-            if topk.len() < k {
-                topk.push((Key(d), pid));
-                in_topk[pid as usize] = true;
-            } else if let Some(&(Key(worst), worst_id)) = topk.peek() {
-                if d < worst {
-                    topk.pop();
-                    in_topk[worst_id as usize] = false;
+        let offer =
+            |pid: u32, d: f64, topk: &mut BinaryHeap<(Key, u32)>, in_topk: &mut Vec<bool>| {
+                if self.dead[pid as usize] || in_topk[pid as usize] {
+                    return;
+                }
+                if topk.len() < k {
                     topk.push((Key(d), pid));
                     in_topk[pid as usize] = true;
+                } else if let Some(&(Key(worst), worst_id)) = topk.peek() {
+                    if d < worst {
+                        topk.pop();
+                        in_topk[worst_id as usize] = false;
+                        topk.push((Key(d), pid));
+                        in_topk[pid as usize] = true;
+                    }
                 }
-            }
-        };
+            };
         let kth_bound = |topk: &BinaryHeap<(Key, u32)>| -> f64 {
             if topk.len() < k {
                 f64::INFINITY
@@ -122,8 +128,16 @@ impl<'d, P, M: Metric<P>> CoverTree<'d, P, M> {
 
         let mut heap: BinaryHeap<Reverse<(Key, u32)>> = BinaryHeap::new();
         let d_root = self.dist_q(self.nodes[root as usize].point, q);
-        offer(self.nodes[root as usize].point, d_root, &mut topk, &mut in_topk);
-        heap.push(Reverse((Key((d_root - self.subtree_bound(root)).max(0.0)), root)));
+        offer(
+            self.nodes[root as usize].point,
+            d_root,
+            &mut topk,
+            &mut in_topk,
+        );
+        heap.push(Reverse((
+            Key((d_root - self.subtree_bound(root)).max(0.0)),
+            root,
+        )));
 
         while let Some(Reverse((Key(lb), idx))) = heap.pop() {
             if lb >= kth_bound(&topk) {
@@ -249,7 +263,11 @@ mod tests {
         for _ in 0..25 {
             let q: Vec<f64> = (0..3).map(|_| rng.random_range(-12.0..12.0)).collect();
             let r = rng.random_range(0.5..8.0);
-            let brute: Vec<u32> = ds.range_brute(&q, r).into_iter().map(|i| i as u32).collect();
+            let brute: Vec<u32> = ds
+                .range_brute(&q, r)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
             let tree = t.range(&q, r);
             assert_eq!(brute, tree);
         }

@@ -70,7 +70,10 @@ impl TreeInstance {
     /// Builds the instance. Requirements from Theorem 1.2(1): `n` and `Δ`
     /// powers of two, `n >= 2`, and `n^2 <= 2Δ <= 2^n`.
     pub fn new(n: u64, delta: u64) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "n must be a power of two >= 2"
+        );
         assert!(delta.is_power_of_two(), "Δ must be a power of two");
         let two_delta = 2 * delta;
         assert!(

@@ -57,13 +57,24 @@ mod tests {
     #[test]
     fn approx_diameter_within_factor_two() {
         let pts: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![(i as f64 * 0.37).sin() * 10.0, (i as f64 * 0.73).cos() * 3.0])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37).sin() * 10.0,
+                    (i as f64 * 0.73).cos() * 3.0,
+                ]
+            })
             .collect();
         let ds = Dataset::new(pts, Euclidean);
         let (_, dmax) = ds.min_max_interpoint();
         let est = approx_diameter(&ds);
-        assert!(est >= dmax - 1e-12, "estimate {est} below true diameter {dmax}");
-        assert!(est <= 2.0 * dmax + 1e-12, "estimate {est} above 2x diameter {dmax}");
+        assert!(
+            est >= dmax - 1e-12,
+            "estimate {est} below true diameter {dmax}"
+        );
+        assert!(
+            est <= 2.0 * dmax + 1e-12,
+            "estimate {est} above 2x diameter {dmax}"
+        );
     }
 
     #[test]

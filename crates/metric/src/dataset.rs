@@ -20,7 +20,10 @@ impl<P, M: Metric<P>> Dataset<P, M> {
     /// paper assumes `n >= 2`, but single-point sets are allowed here so that
     /// degenerate cases are testable).
     pub fn new(points: Vec<P>, metric: M) -> Self {
-        assert!(!points.is_empty(), "dataset must contain at least one point");
+        assert!(
+            !points.is_empty(),
+            "dataset must contain at least one point"
+        );
         Dataset { points, metric }
     }
 
@@ -77,8 +80,7 @@ impl<P, M: Metric<P>> Dataset<P, M> {
     /// Exact `k` nearest neighbors of `q` by brute force, ascending by
     /// distance (ties broken by id).
     pub fn k_nearest_brute(&self, q: &P, k: usize) -> Vec<(usize, f64)> {
-        let mut all: Vec<(usize, f64)> =
-            (0..self.len()).map(|i| (i, self.dist_to(i, q))).collect();
+        let mut all: Vec<(usize, f64)> = (0..self.len()).map(|i| (i, self.dist_to(i, q))).collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
@@ -103,7 +105,9 @@ impl<P, M: Metric<P>> Dataset<P, M> {
 
     /// All ids within distance `r` of `q` (closed ball `B(q, r)`), ascending.
     pub fn range_brute(&self, q: &P, r: f64) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.dist_to(i, q) <= r).collect()
+        (0..self.len())
+            .filter(|&i| self.dist_to(i, q) <= r)
+            .collect()
     }
 
     /// Exact minimum and maximum inter-point distances `(d_min, d_max)` by

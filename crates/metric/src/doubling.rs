@@ -37,11 +37,7 @@ pub fn packing_bound(aspect_ratio: f64, lambda: f64) -> f64 {
 /// `samples` controls how many `(point, radius)` pairs are probed; radii are
 /// drawn from the observed distance distribution. Returns 0 for degenerate
 /// datasets. Cost: `O(samples * n)` distances.
-pub fn expansion_log2<P, M: Metric<P>>(
-    data: &Dataset<P, M>,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn expansion_log2<P, M: Metric<P>>(data: &Dataset<P, M>, samples: usize, seed: u64) -> f64 {
     let n = data.len();
     if n < 2 {
         return 0.0;
@@ -77,11 +73,7 @@ pub fn expansion_log2<P, M: Metric<P>>(
 /// maximum `log2` of the number of radius-`r/2` balls a greedy cover needs.
 ///
 /// Cost: `O(samples * n * cover_size)` distances.
-pub fn greedy_cover_log2<P, M: Metric<P>>(
-    data: &Dataset<P, M>,
-    samples: usize,
-    seed: u64,
-) -> f64 {
+pub fn greedy_cover_log2<P, M: Metric<P>>(data: &Dataset<P, M>, samples: usize, seed: u64) -> f64 {
     let n = data.len();
     if n < 2 {
         return 0.0;
@@ -109,11 +101,7 @@ pub fn greedy_cover_log2<P, M: Metric<P>>(
 
 /// Number of balls of radius `r_half` (centered at members) that a greedy
 /// pass needs to cover `ball`.
-fn greedy_half_cover<P, M: Metric<P>>(
-    data: &Dataset<P, M>,
-    ball: &[usize],
-    r_half: f64,
-) -> usize {
+fn greedy_half_cover<P, M: Metric<P>>(data: &Dataset<P, M>, ball: &[usize], r_half: f64) -> usize {
     let mut covered = vec![false; ball.len()];
     let mut count = 0usize;
     for k in 0..ball.len() {

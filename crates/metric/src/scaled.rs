@@ -74,8 +74,12 @@ mod tests {
     #[test]
     fn scaled_metric_still_satisfies_axioms() {
         let m = Scaled::new(Euclidean, 0.125);
-        let pts: Vec<Vec<f64>> =
-            vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![5.5, 0.25], vec![-3.0, 4.0]];
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.0, 1.0],
+            vec![2.0, -1.0],
+            vec![5.5, 0.25],
+            vec![-3.0, 4.0],
+        ];
         axioms::check_all(&m, &pts).unwrap();
     }
 }

@@ -1,10 +1,10 @@
 //! Property tests for the metric kernel: axioms for every `L_p` metric on
 //! random vectors, instrumentation exactness, and estimator bands.
 
-use proptest::prelude::*;
 use pg_metric::aspect::{approx_diameter, ceil_log2};
 use pg_metric::metric::axioms;
 use pg_metric::{Chebyshev, Counting, Dataset, Euclidean, Manhattan, Metric, Scaled};
+use proptest::prelude::*;
 
 fn vec3() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e4f64..1e4, 3)

@@ -51,7 +51,9 @@ pub fn validate_net<P, M: Metric<P>>(
                 continue 'cover;
             }
         }
-        return Err(format!("covering violated: point {x} has no center within {r}"));
+        return Err(format!(
+            "covering violated: point {x} has no center within {r}"
+        ));
     }
     Ok(())
 }

@@ -97,10 +97,7 @@ impl NetHierarchy {
     }
 
     /// [`NetHierarchy::build`] with an explicit level cap.
-    pub fn build_with_max_levels<P, M: Metric<P>>(
-        data: &Dataset<P, M>,
-        max_levels: usize,
-    ) -> Self {
+    pub fn build_with_max_levels<P, M: Metric<P>>(data: &Dataset<P, M>, max_levels: usize) -> Self {
         let n = data.len();
         assert!(n >= 2, "hierarchy needs at least two points");
 

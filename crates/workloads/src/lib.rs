@@ -112,7 +112,13 @@ pub fn lattice(side: usize, d: usize, spacing: f64) -> Points {
 /// centered at `x_1 = ratio^j`. The aspect ratio is ~`ratio^clusters`, so
 /// `log Δ ≈ clusters * log2(ratio)` grows while `n` stays fixed — the
 /// workload for the Euclidean-separation experiments.
-pub fn geometric_chain(clusters: usize, per_cluster: usize, ratio: f64, d: usize, seed: u64) -> Points {
+pub fn geometric_chain(
+    clusters: usize,
+    per_cluster: usize,
+    ratio: f64,
+    d: usize,
+    seed: u64,
+) -> Points {
     assert!(ratio > 1.0 && clusters >= 1 && per_cluster >= 1 && d >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(clusters * per_cluster);
@@ -137,7 +143,10 @@ pub fn geometric_chain(clusters: usize, per_cluster: usize, ratio: f64, d: usize
 /// Euclidean workload on which the `n log Δ` size of per-level nets is
 /// actually attained (the separation experiment T1.3-sep).
 pub fn cantor_dust(levels: usize, ratio: f64) -> Points {
-    assert!((1..=24).contains(&levels), "2^levels points; keep levels <= 24");
+    assert!(
+        (1..=24).contains(&levels),
+        "2^levels points; keep levels <= 24"
+    );
     assert!(ratio >= 2.0, "ratio must be >= 2 for separation");
     // Guard f64 exactness: the top digit's magnitude must keep ulp < 1, or
     // low digits round away and points collide.
@@ -176,18 +185,16 @@ pub fn two_scale(n: usize, d: usize, satellite: usize, spread: f64, seed: u64) -
 }
 
 /// `n` points uniform on the unit sphere `S^{d-1}` (Gaussian direction
-/// method) — the natural workload for the [`pg_metric::Angular`] metric.
+/// method) — the natural workload for the `pg_metric::Angular` metric.
 pub fn unit_sphere(n: usize, d: usize, seed: u64) -> Points {
     assert!(d >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| {
-            loop {
-                let v: Vec<f64> = (0..d).map(|_| gaussian(&mut rng)).collect();
-                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-                if norm > 1e-9 {
-                    return v.iter().map(|x| x / norm).collect();
-                }
+        .map(|_| loop {
+            let v: Vec<f64> = (0..d).map(|_| gaussian(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-9 {
+                return v.iter().map(|x| x / norm).collect();
             }
         })
         .collect()
@@ -209,7 +216,9 @@ pub fn perturbed_queries(data: &[Vec<f64>], m: usize, sigma: f64, seed: u64) -> 
     (0..m)
         .map(|_| {
             let base = &data[rng.random_range(0..data.len())];
-            base.iter().map(|&x| x + sigma * gaussian(&mut rng)).collect()
+            base.iter()
+                .map(|&x| x + sigma * gaussian(&mut rng))
+                .collect()
         })
         .collect()
 }
@@ -218,7 +227,10 @@ pub fn perturbed_queries(data: &[Vec<f64>], m: usize, sigma: f64, seed: u64) -> 
 pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Points)> {
     vec![
         ("uniform-2d", uniform_cube(n, 2, 100.0, seed)),
-        ("clusters-2d", gaussian_clusters(n, 2, 16, 1.0, 100.0, seed + 1)),
+        (
+            "clusters-2d",
+            gaussian_clusters(n, 2, 16, 1.0, 100.0, seed + 1),
+        ),
         ("swiss-roll-3d", swiss_roll(n, 3, seed + 2)),
         ("chain-2d", geometric_chain(16, n / 16, 3.0, 2, seed + 3)),
     ]
@@ -234,7 +246,9 @@ mod tests {
         let a = uniform_cube(100, 3, 10.0, 7);
         let b = uniform_cube(100, 3, 10.0, 7);
         assert_eq!(a, b);
-        assert!(a.iter().all(|p| p.iter().all(|&x| (0.0..10.0).contains(&x))));
+        assert!(a
+            .iter()
+            .all(|p| p.iter().all(|&x| (0.0..10.0).contains(&x))));
         let c = uniform_cube(100, 3, 10.0, 8);
         assert_ne!(a, c, "different seeds must differ");
     }
@@ -297,15 +311,15 @@ mod tests {
         let ds = Dataset::new(pts, Euclidean);
         let ids: Vec<u32> = (0..200).collect();
         let net = pg_nets_greedy_net(&ds, &ids, 5.0);
-        assert!(net.len() <= 8, "expected ~4 clusters, got {} net points", net.len());
+        assert!(
+            net.len() <= 8,
+            "expected ~4 clusters, got {} net points",
+            net.len()
+        );
     }
 
     // Local copy to avoid a dev-dependency cycle with pg-nets.
-    fn pg_nets_greedy_net(
-        ds: &Dataset<Vec<f64>, Euclidean>,
-        ids: &[u32],
-        r: f64,
-    ) -> Vec<u32> {
+    fn pg_nets_greedy_net(ds: &Dataset<Vec<f64>, Euclidean>, ids: &[u32], r: f64) -> Vec<u32> {
         let mut centers: Vec<u32> = Vec::new();
         'outer: for &p in ids {
             for &c in &centers {

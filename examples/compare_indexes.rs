@@ -156,7 +156,10 @@ fn main() {
                 100.0 * r.recall
             );
         }
-        println!("{:<16} {:>12} {:>9} {:>9} {:>12} {:>9}", "brute force", 0, "-", "-", n, "100.0%");
+        println!(
+            "{:<16} {:>12} {:>9} {:>9} {:>12} {:>9}",
+            "brute force", 0, "-", "-", n, "100.0%"
+        );
         println!();
     }
 

@@ -11,7 +11,7 @@
 //!
 //! Run with: `cargo run --release --example lower_bounds`
 
-use proximity_graphs::core::{Graph, GNet};
+use proximity_graphs::core::{GNet, Graph};
 use proximity_graphs::hardness::{BlockInstance, TreeInstance};
 
 fn main() {
@@ -65,7 +65,13 @@ fn main() {
         "{:>3} {:>3} {:>3} {:>7} {:>8} | {:>12} {:>12} {:>8}",
         "s", "d", "t", "n", "ε", "required", "G_net edges", "ratio"
     );
-    for (s, d, t) in [(2u32, 1u32, 4u32), (2, 2, 4), (3, 2, 3), (2, 3, 2), (4, 2, 2)] {
+    for (s, d, t) in [
+        (2u32, 1u32, 4u32),
+        (2, 2, 4),
+        (3, 2, 3),
+        (2, 3, 2),
+        (4, 2, 2),
+    ] {
         let inst = BlockInstance::new(s, d, t);
         let data = inst.data_dataset();
         let gnet = GNet::build(&data, inst.epsilon());

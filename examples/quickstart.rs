@@ -27,7 +27,10 @@ fn main() {
     println!("  edges:                  {}", pg.graph.edge_count());
     println!("  avg out-degree:         {:.1}", pg.graph.avg_out_degree());
     println!("  max out-degree:         {}", pg.graph.max_out_degree());
-    println!("  build distance calls:   {build_dists} ({:.1} per point)", build_dists as f64 / n as f64);
+    println!(
+        "  build distance calls:   {build_dists} ({:.1} per point)",
+        build_dists as f64 / n as f64
+    );
     println!();
 
     // --- 3. Queries ------------------------------------------------------
@@ -57,9 +60,15 @@ fn main() {
         );
     }
     println!("100 greedy queries from arbitrary starts:");
-    println!("  avg distance calls:     {:.1}  (brute force: {n})", total_comps as f64 / 100.0);
+    println!(
+        "  avg distance calls:     {:.1}  (brute force: {n})",
+        total_comps as f64 / 100.0
+    );
     println!("  avg hops:               {:.1}", total_hops as f64 / 100.0);
-    println!("  worst approx ratio:     {worst_ratio:.4}  (guarantee: {})", 1.0 + epsilon);
+    println!(
+        "  worst approx ratio:     {worst_ratio:.4}  (guarantee: {})",
+        1.0 + epsilon
+    );
     println!();
     println!("Every query returned a (1+ε)-approximate nearest neighbor.");
 }

@@ -24,7 +24,10 @@ fn main() {
 
     println!("Recommendation workload: n = {n}, d = {dim}, 32 clusters, 200 near-item queries");
     println!();
-    println!("{:<18} {:>10} {:>10} {:>12} {:>10} {:>10}", "index", "build-s", "edges", "dists/query", "recall@1", "hops");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "index", "build-s", "edges", "dists/query", "recall@1", "hops"
+    );
 
     // Ground truth.
     let truth: Vec<usize> = queries.iter().map(|q| data.nearest_brute(q).0).collect();

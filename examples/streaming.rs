@@ -66,9 +66,18 @@ fn main() {
     println!("  total distance calls:   {}", index.metric().count());
     println!();
     println!("{checked} audited queries:");
-    println!("  avg distance calls:     {:.0}  (window scan would be {window})", query_comps as f64 / queries_run as f64);
-    println!("  worst approx ratio:     {worst_ratio:.4}  (guarantee: {})", 1.0 + epsilon);
+    println!(
+        "  avg distance calls:     {:.0}  (window scan would be {window})",
+        query_comps as f64 / queries_run as f64
+    );
+    println!(
+        "  worst approx ratio:     {worst_ratio:.4}  (guarantee: {})",
+        1.0 + epsilon
+    );
     println!();
     println!("The (1+ε) guarantee held at every audit point while the index");
-    println!("absorbed 10,000 inserts and {} deletes.", 10_000 - stats.live);
+    println!(
+        "absorbed 10,000 inserts and {} deletes.",
+        10_000 - stats.live
+    );
 }

@@ -58,7 +58,10 @@ fn greedy_angular_search_is_sublinear_and_correct() {
     let g = GNet::build(&data, 1.0);
     data.metric().reset();
     let mut total = 0u64;
-    for (i, raw) in workloads::uniform_queries(25, 3, -1.0, 1.0, 8).iter().enumerate() {
+    for (i, raw) in workloads::uniform_queries(25, 3, -1.0, 1.0, 8)
+        .iter()
+        .enumerate()
+    {
         if raw.iter().all(|&x| x == 0.0) {
             continue;
         }

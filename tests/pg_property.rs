@@ -5,8 +5,8 @@
 
 use proximity_graphs::baselines::slow_preprocessing;
 use proximity_graphs::core::{
-    check_navigable, check_pg_exhaustive, GNet, GNetIndependent, MergedGraph, MergedParams,
-    Starts, ThetaGraph,
+    check_navigable, check_pg_exhaustive, GNet, GNetIndependent, MergedGraph, MergedParams, Starts,
+    ThetaGraph,
 };
 use proximity_graphs::metric::{Dataset, Euclidean};
 use proximity_graphs::workloads;
@@ -79,8 +79,7 @@ fn diskann_slow_honors_the_indyk_xu_ratio() {
     for alpha in [1.5f64, 2.0, 3.0] {
         let eps = 2.0 / (alpha - 1.0); // ratio (α+1)/(α-1) = 1 + ε
         let g = slow_preprocessing(&data, alpha);
-        check_navigable(&g, &data, &queries, eps)
-            .unwrap_or_else(|v| panic!("alpha {alpha}: {v}"));
+        check_navigable(&g, &data, &queries, eps).unwrap_or_else(|v| panic!("alpha {alpha}: {v}"));
         check_pg_exhaustive(&g, &data, &queries, eps, Starts::Stride(7))
             .unwrap_or_else(|v| panic!("alpha {alpha}: {v}"));
     }

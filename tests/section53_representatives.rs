@@ -47,11 +47,15 @@ fn same_cell_queries_walk_identically_on_every_graph() {
     let queries = workloads::uniform_queries(40, 2, 0.0, 80.0, 6);
     let mut tested = 0;
     for q in &queries {
-        let Some(sig1) = signature(&data, q) else { continue };
+        let Some(sig1) = signature(&data, q) else {
+            continue;
+        };
         // Perturb by much less than the smallest distance gap: if the
         // signature is unchanged, the cell is unchanged.
         let q2: Vec<f64> = vec![q[0] + 1e-7, q[1] - 1e-7];
-        let Some(sig2) = signature(&data, &q2) else { continue };
+        let Some(sig2) = signature(&data, &q2) else {
+            continue;
+        };
         if sig1 != sig2 {
             continue; // crossed a bisector; not a same-cell pair
         }
@@ -82,7 +86,10 @@ fn different_cells_can_diverge() {
     let q2 = vec![45.0, 45.0];
     let w1 = greedy(&g.graph, &data, 0, &q1);
     let w2 = greedy(&g.graph, &data, 0, &q2);
-    assert_ne!(w1.result, w2.result, "far-apart queries should find different NNs");
+    assert_ne!(
+        w1.result, w2.result,
+        "far-apart queries should find different NNs"
+    );
 }
 
 #[test]
@@ -90,7 +97,10 @@ fn greedy_depends_only_on_comparisons_not_magnitudes() {
     // Scale-invariance corollary: multiplying all coordinates by a constant
     // preserves every comparison, so walks are identical.
     let points = workloads::uniform_cube(100, 2, 60.0, 8);
-    let scaled: Vec<Vec<f64>> = points.iter().map(|p| p.iter().map(|x| x * 7.5).collect()).collect();
+    let scaled: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| p.iter().map(|x| x * 7.5).collect())
+        .collect();
     let d1 = Dataset::new(points, Euclidean);
     let d2 = Dataset::new(scaled, Euclidean);
     let g1 = GNet::build(&d1, 1.0);
