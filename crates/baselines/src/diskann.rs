@@ -24,11 +24,18 @@ use rand::{RngExt, SeedableRng};
 
 /// The slow-preprocessing α-pruned DiskANN graph (see module docs).
 /// Requires `alpha > 1`.
-pub fn slow_preprocessing<P, M: Metric<P>>(data: &Dataset<P, M>, alpha: f64) -> Graph {
+///
+/// Each point's scan-and-prune is independent of every other point's, so the
+/// per-point neighbor selection is sharded across the thread pool over the
+/// immutable dataset; the kept lists are re-assembled in id order, making
+/// the graph bit-identical to the sequential construction for any thread
+/// count (asserted in tests). This is the quadratic-barrier baseline — the
+/// pool divides the wall clock, not the `Θ(n^2 log n)` distance count.
+pub fn slow_preprocessing<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, alpha: f64) -> Graph {
     assert!(alpha > 1.0, "alpha must exceed 1, got {alpha}");
     let n = data.len();
     let mut builder = GraphBuilder::new(n);
-    for p in 0..n {
+    let per_point = rayon::par_map_range(n, |p| {
         let mut order: Vec<(f64, u32)> = (0..n)
             .filter(|&v| v != p)
             .map(|v| (data.dist(p, v), v as u32))
@@ -43,6 +50,9 @@ pub fn slow_preprocessing<P, M: Metric<P>>(data: &Dataset<P, M>, alpha: f64) -> 
             }
             kept.push((v, dpv));
         }
+        kept
+    });
+    for (p, kept) in per_point.into_iter().enumerate() {
         for (v, _) in kept {
             builder.add_edge(p as u32, v);
         }
@@ -78,7 +88,13 @@ impl Default for VamanaParams {
 }
 
 /// The practical DiskANN/Vamana graph (see module docs).
-pub fn vamana<P, M: Metric<P>>(data: &Dataset<P, M>, params: VamanaParams) -> Graph {
+///
+/// Vamana's improvement passes mutate the graph point by point, so they stay
+/// sequential for determinism; the per-point robust-prune distance labelling
+/// routes through the pool-aware `label_dists` helper (parallel past its
+/// 512-candidate threshold, sequential below it), reading only immutable
+/// snapshots — the result is bit-identical for any thread count.
+pub fn vamana<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, params: VamanaParams) -> Graph {
     let n = data.len();
     assert!(n >= 2);
     let r = params.r.min(n - 1).max(1);
@@ -130,7 +146,7 @@ pub fn vamana<P, M: Metric<P>>(data: &Dataset<P, M>, params: VamanaParams) -> Gr
 
 /// The α-robust-prune of DiskANN: keep the closest candidate, drop all
 /// candidates it α-covers, repeat until `r` neighbors are kept.
-fn robust_prune<P, M: Metric<P>>(
+fn robust_prune<P: Sync, M: Metric<P> + Sync>(
     data: &Dataset<P, M>,
     p: usize,
     mut candidates: Vec<u32>,
@@ -140,10 +156,7 @@ fn robust_prune<P, M: Metric<P>>(
     candidates.retain(|&v| v as usize != p);
     candidates.sort_unstable();
     candidates.dedup();
-    let mut with_d: Vec<(f64, u32)> = candidates
-        .into_iter()
-        .map(|v| (data.dist(p, v as usize), v))
-        .collect();
+    let mut with_d: Vec<(f64, u32)> = crate::label_dists(data, p, &candidates);
     with_d.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut kept: Vec<u32> = Vec::with_capacity(r);
     let mut alive: Vec<(f64, u32)> = with_d;
@@ -220,7 +233,9 @@ fn beam_visited<P, M: Metric<P>>(
 }
 
 /// Approximate medoid: the sampled point minimizing distance to a random
-/// probe set.
+/// probe set. The candidate pool is capped at ~128 entries of ~16 distance
+/// evaluations each — far below the parallel threshold — so this stays a
+/// plain sequential scan (spawning workers would cost more than the work).
 fn approx_medoid<P, M: Metric<P>>(data: &Dataset<P, M>, rng: &mut StdRng) -> usize {
     let n = data.len();
     let probes: Vec<usize> = (0..16.min(n)).map(|_| rng.random_range(0..n)).collect();
@@ -352,6 +367,22 @@ mod tests {
         // The nearest candidate is always kept.
         let (nearest, _) = ds.nearest_excluding(0);
         assert!(kept.contains(&(nearest as u32)));
+    }
+
+    #[test]
+    fn parallel_construction_is_thread_count_invariant() {
+        let ds = random_dataset(90, 2, 8);
+        let slow1 = rayon::with_threads(1, || slow_preprocessing(&ds, 2.0));
+        let vam1 = rayon::with_threads(1, || vamana(&ds, VamanaParams::default()));
+        for threads in [2, 5] {
+            let slow_t = rayon::with_threads(threads, || slow_preprocessing(&ds, 2.0));
+            let vam_t = rayon::with_threads(threads, || vamana(&ds, VamanaParams::default()));
+            assert_eq!(
+                slow1, slow_t,
+                "slow-preprocessing diverged at {threads} threads"
+            );
+            assert_eq!(vam1, vam_t, "vamana diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -71,7 +71,15 @@ impl Ord for C {
 
 impl Hnsw {
     /// Builds the index by sequential insertion.
-    pub fn build<P, M: Metric<P>>(data: &Dataset<P, M>, params: HnswParams) -> Self {
+    ///
+    /// Insertion order is inherently sequential (each point searches the
+    /// graph built so far), so the build loop is not sharded. Neighbor
+    /// re-pruning routes its candidate distance labelling through the
+    /// thread-pool-aware `label_dists` helper, which engages the pool only
+    /// past a 512-candidate threshold — at default parameters (`M = 12`,
+    /// candidate lists ≈ `M_max + 1`) the build therefore runs effectively
+    /// sequentially, and stays bit-identical for any thread count.
+    pub fn build<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, params: HnswParams) -> Self {
         let n = data.len();
         assert!(n >= 1);
         let ml = 1.0 / (params.m as f64).ln();
@@ -336,17 +344,14 @@ fn select_heuristic<P, M: Metric<P>>(
 }
 
 /// Re-prunes a vertex's adjacency down to `m_max`.
-fn shrink<P, M: Metric<P>>(
+fn shrink<P: Sync, M: Metric<P> + Sync>(
     data: &Dataset<P, M>,
     layer: &mut [Vec<u32>],
     u: usize,
     m_max: usize,
     heuristic: bool,
 ) {
-    let mut cands: Vec<(f64, u32)> = layer[u]
-        .iter()
-        .map(|&v| (data.dist(u, v as usize), v))
-        .collect();
+    let mut cands: Vec<(f64, u32)> = crate::label_dists(data, u, &layer[u]);
     cands.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     cands.dedup_by_key(|c| c.1);
     layer[u] = if heuristic {
@@ -461,6 +466,22 @@ mod tests {
         let b = Hnsw::build(&ds, HnswParams::default());
         assert_eq!(a.ground_layer(), b.ground_layer());
         assert_eq!(a.entry_point(), b.entry_point());
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        // Guards the label_dists wiring: at default parameters the shrink
+        // candidate lists stay under the parallel threshold, so this pins
+        // that introducing the pool-aware helper changed nothing — and that
+        // any future threshold change keeps the build deterministic.
+        let ds = random_dataset(250, 2, 8);
+        let one = rayon::with_threads(1, || Hnsw::build(&ds, HnswParams::default()));
+        for threads in [2, 4] {
+            let many = rayon::with_threads(threads, || Hnsw::build(&ds, HnswParams::default()));
+            assert_eq!(one.ground_layer(), many.ground_layer());
+            assert_eq!(one.entry_point(), many.entry_point());
+            assert_eq!(one.total_edges(), many.total_edges());
+        }
     }
 
     #[test]

@@ -24,6 +24,33 @@ pub mod diskann;
 pub mod hnsw;
 pub mod nsw;
 
+use pg_metric::{Dataset, Metric};
+
+/// Below this many candidates a parallel distance-labelling pass costs more
+/// in thread startup than it saves; the sequential path is used instead.
+pub(crate) const PAR_DIST_THRESHOLD: usize = 512;
+
+/// Distance-labels `cands` against point `p`, **in input order** — the
+/// neighbor-selection primitive of the HNSW/Vamana constructions. Over the
+/// immutable dataset snapshot each evaluation is independent, so large lists
+/// are sharded across the thread pool; the order-preserving map keeps the
+/// output (and therefore the built graph) bit-identical to the sequential
+/// path for any thread count.
+pub(crate) fn label_dists<P: Sync, M: Metric<P> + Sync>(
+    data: &Dataset<P, M>,
+    p: usize,
+    cands: &[u32],
+) -> Vec<(f64, u32)> {
+    if cands.len() >= PAR_DIST_THRESHOLD {
+        rayon::par_map(cands, |&v| (data.dist(p, v as usize), v))
+    } else {
+        cands
+            .iter()
+            .map(|&v| (data.dist(p, v as usize), v))
+            .collect()
+    }
+}
+
 pub use brute::brute_force_nn;
 pub use diskann::{slow_preprocessing, vamana, VamanaParams};
 pub use hnsw::{Hnsw, HnswParams};

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_baselines::{Hnsw, HnswParams};
-use pg_core::{beam_search, greedy, GNet, MergedGraph, MergedParams};
+use pg_core::{beam_search, greedy, GNet, MergedGraph, MergedParams, QueryEngine};
 use pg_metric::{Dataset, Euclidean};
 use pg_workloads as workloads;
 use std::hint::black_box;
@@ -64,6 +64,32 @@ fn query(c: &mut Criterion) {
             black_box(data.nearest_brute(q))
         })
     });
+    group.finish();
+
+    // Batched greedy through the engine, one bench per thread count: the
+    // distance totals are asserted identical (thread count only moves the
+    // wall clock, which is exactly what this suite measures).
+    let starts: Vec<u32> = (0..queries.len()).map(|i| ((i * 131) % n) as u32).collect();
+    let engine = QueryEngine::new(gnet.graph.clone(), data.clone());
+    let reference = engine
+        .clone()
+        .with_threads(1)
+        .batch_greedy(&starts, &queries);
+    let mut group = c.benchmark_group("batch_greedy_n8000");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4] {
+        let e = engine.clone().with_threads(threads);
+        let b64 = e.batch_greedy(&starts, &queries);
+        assert_eq!(
+            b64.dist_comps, reference.dist_comps,
+            "batch distance totals must not depend on thread count"
+        );
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(e.batch_greedy(&starts, &queries)))
+        });
+    }
     group.finish();
 }
 

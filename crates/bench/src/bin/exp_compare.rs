@@ -3,25 +3,33 @@
 //! computations — the paper's model — and seconds), size, query cost and
 //! recall@1.
 //!
-//! Run: `cargo run --release -p pg-bench --bin exp_compare [--full]`
+//! Queries run as one batch per index through the parallel
+//! [`QueryEngine`]; per-query answers and distance totals are identical to
+//! the sequential loops for any thread count.
+//!
+//! Run: `cargo run --release -p pg_bench --bin exp_compare
+//! [--full] [--threads N]`
 
 use std::time::Instant;
 
 use pg_baselines::{nsw, slow_preprocessing, vamana, Hnsw, HnswParams, NswParams, VamanaParams};
-use pg_bench::{fmt, full_mode, Table};
-use pg_core::{beam_search, greedy, GNet, Graph, MergedGraph, MergedParams};
+use pg_bench::{fmt, full_mode, init_threads, Table};
+use pg_core::{GNet, Graph, MergedGraph, MergedParams, QueryEngine};
 use pg_metric::{Counting, Dataset, Euclidean};
 use pg_workloads as workloads;
 
 fn main() {
+    let threads = init_threads();
     let n = if full_mode() { 4000 } else { 1200 };
-    println!("# CMP: all indexes on the standard suite (n = {n})\n");
+    println!("# CMP: all indexes on the standard suite (n = {n}, {threads} thread(s))\n");
 
     for (wname, points) in workloads::standard_suite(n, 99) {
         let dim = points[0].len();
         let data = Dataset::new(points, Counting::new(Euclidean));
         let queries = workloads::perturbed_queries(data.points(), 80, 0.5, 17);
         let truth: Vec<usize> = queries.iter().map(|q| data.nearest_brute(q).0).collect();
+        let greedy_starts: Vec<u32> = (0..queries.len()).map(|i| ((i * 131) % n) as u32).collect();
+        let beam_starts: Vec<u32> = vec![0; queries.len()];
         data.metric().reset();
 
         println!("## workload: {wname} (d = {dim})\n");
@@ -37,25 +45,46 @@ fn main() {
 
         let greedy_row =
             |table: &mut Table, name: &str, g: &Graph, bd: u64, bs: f64, guar: &str| {
-                let mut comps = 0u64;
-                let mut hits = 0usize;
-                for (i, (q, &tr)) in queries.iter().zip(truth.iter()).enumerate() {
-                    let out = greedy(g, &data, ((i * 131) % n) as u32, q);
-                    comps += out.dist_comps;
-                    if out.result as usize == tr {
-                        hits += 1;
-                    }
-                }
+                // Engine clones share the Counting metric's counter, so the
+                // experiment's take()-based phases keep working unchanged.
+                let engine = QueryEngine::new(g.clone(), data.clone());
+                let batch = engine.batch_greedy(&greedy_starts, &queries);
+                let hits = batch
+                    .outcomes
+                    .iter()
+                    .zip(truth.iter())
+                    .filter(|(o, &tr)| o.result as usize == tr)
+                    .count();
                 table.row(vec![
                     name.into(),
                     bd.to_string(),
                     fmt(bs, 2),
                     g.edge_count().to_string(),
-                    fmt(comps as f64 / queries.len() as f64, 0),
+                    fmt(batch.dist_comps as f64 / queries.len() as f64, 0),
                     format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
                     guar.into(),
                 ]);
             };
+
+        let beam_row = |table: &mut Table, name: &str, g: &Graph, bd: u64, bs: f64| {
+            let engine = QueryEngine::new(g.clone(), data.clone());
+            let batch = engine.batch_beam(&beam_starts, &queries, 12, 1);
+            let hits = batch
+                .results
+                .iter()
+                .zip(truth.iter())
+                .filter(|(res, &tr)| res[0].0 as usize == tr)
+                .count();
+            table.row(vec![
+                name.into(),
+                bd.to_string(),
+                fmt(bs, 2),
+                g.edge_count().to_string(),
+                fmt(batch.dist_comps as f64 / queries.len() as f64, 0),
+                format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
+                "none".into(),
+            ]);
+        };
 
         let t0 = Instant::now();
         let gnet = GNet::build_fast(&data, 1.0);
@@ -68,6 +97,7 @@ fn main() {
             bs,
             "2-ANN any start",
         );
+        data.metric().reset();
 
         let t0 = Instant::now();
         let ct = GNet::build_covertree(&data, 1.0);
@@ -80,6 +110,7 @@ fn main() {
             bs,
             "2-ANN any start",
         );
+        data.metric().reset();
 
         let theta = if dim <= 2 { 0.25 } else { 0.7 };
         let t0 = Instant::now();
@@ -93,6 +124,7 @@ fn main() {
             bs,
             "2-ANN any start",
         );
+        data.metric().reset();
 
         if n <= 2500 || full_mode() {
             let t0 = Instant::now();
@@ -106,49 +138,20 @@ fn main() {
                 bs,
                 "2-ANN any start",
             );
+            data.metric().reset();
         }
 
         let t0 = Instant::now();
         let vg = vamana(&data, VamanaParams::default());
         let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
-        let mut comps = 0u64;
-        let mut hits = 0usize;
-        for (q, &tr) in queries.iter().zip(truth.iter()) {
-            let (res, c) = beam_search(&vg, &data, 0, q, 12, 1);
-            comps += c;
-            hits += (res[0].0 as usize == tr) as usize;
-        }
+        beam_row(&mut table, "Vamana beam12", &vg, bd, bs);
         data.metric().reset();
-        table.row(vec![
-            "Vamana beam12".into(),
-            bd.to_string(),
-            fmt(bs, 2),
-            vg.edge_count().to_string(),
-            fmt(comps as f64 / queries.len() as f64, 0),
-            format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
-            "none".into(),
-        ]);
 
         let t0 = Instant::now();
         let ng = nsw(&data, NswParams::default());
         let (bd, bs) = (data.metric().take(), t0.elapsed().as_secs_f64());
-        let mut comps = 0u64;
-        let mut hits = 0usize;
-        for (q, &tr) in queries.iter().zip(truth.iter()) {
-            let (res, c) = beam_search(&ng, &data, 0, q, 12, 1);
-            comps += c;
-            hits += (res[0].0 as usize == tr) as usize;
-        }
+        beam_row(&mut table, "NSW beam12", &ng, bd, bs);
         data.metric().reset();
-        table.row(vec![
-            "NSW beam12".into(),
-            bd.to_string(),
-            fmt(bs, 2),
-            ng.edge_count().to_string(),
-            fmt(comps as f64 / queries.len() as f64, 0),
-            format!("{:.1}%", 100.0 * hits as f64 / queries.len() as f64),
-            "none".into(),
-        ]);
 
         let t0 = Instant::now();
         let h = Hnsw::build(&data, HnswParams::default());

@@ -4,18 +4,26 @@
 //! counts (the paper's cost model) and wall-clock seconds are reported,
 //! with fitted log–log slopes.
 //!
-//! Run: `cargo run --release -p pg-bench --bin exp_t11_build [--full]`
+//! Run: `cargo run --release -p pg_bench --bin exp_t11_build
+//! [--full] [--threads N]`
+//!
+//! The cascade/naive candidate generation and the DiskANN-slow per-point
+//! pruning shard across the thread pool: `--threads` moves the wall-clock
+//! columns while the distance counts (the paper's cost model) stay exactly
+//! the same.
 
 use std::time::Instant;
 
 use pg_baselines::slow_preprocessing;
-use pg_bench::{fmt, full_mode, loglog_slope, Table};
+use pg_bench::{fmt, full_mode, init_threads, loglog_slope, Table};
 use pg_core::GNet;
 use pg_metric::{Counting, Dataset, Euclidean};
 use pg_workloads as workloads;
 
 fn main() {
-    println!("# T1.1-build: construction cost vs n (distance computations and seconds)\n");
+    let threads = init_threads();
+    println!("# T1.1-build: construction cost vs n (distance computations and seconds)");
+    println!("(parallel candidate generation on {threads} thread(s); dist counts are thread-invariant)\n");
 
     let ns: Vec<usize> = if full_mode() {
         vec![1000, 2000, 4000, 8000, 16000]

@@ -3,17 +3,25 @@
 //! distance computations, from any start vertex.
 //!
 //! Tables: query cost vs `n` (must stay ~flat while brute force grows
-//! linearly), hop counts vs the proven `h` ceiling, and cost vs `ε`.
+//! linearly), hop counts vs the proven `h` ceiling, cost vs `ε`, and
+//! batched-query throughput vs thread count (the engine's answers and
+//! distance totals are identical at every thread count; only the wall
+//! clock moves).
 //!
-//! Run: `cargo run --release -p pg-bench --bin exp_t11_query [--full]`
+//! Run: `cargo run --release -p pg_bench --bin exp_t11_query
+//! [--full] [--threads N]`
 
-use pg_bench::{fmt, full_mode, measure_greedy, Table};
-use pg_core::GNet;
+use std::time::Instant;
+
+use pg_bench::{fmt, full_mode, init_threads, measure_greedy_batch, spread_start, Table};
+use pg_core::{GNet, QueryEngine};
 use pg_metric::{Dataset, Euclidean};
 use pg_workloads as workloads;
 
 fn main() {
-    println!("# T1.1-query: greedy cost = O((1/eps)^lambda * log^2 Delta), any start\n");
+    let threads = init_threads();
+    println!("# T1.1-query: greedy cost = O((1/eps)^lambda * log^2 Delta), any start");
+    println!("(query batches sharded over {threads} thread(s))\n");
 
     // ---- Query cost vs n ----------------------------------------------------
     let ns: Vec<usize> = if full_mode() {
@@ -35,14 +43,17 @@ fn main() {
         let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 21);
         let data = Dataset::new(pts, Euclidean);
         let g = GNet::build_fast(&data, 1.0);
+        let log_aspect = g.hierarchy.log_aspect();
+        let h = g.hierarchy.h();
         let queries = workloads::uniform_queries(60, 2, 0.0, (n as f64).sqrt() * 4.0, 22);
-        let (dists, hops, worst) = measure_greedy(&g.graph, &data, &queries);
+        let engine = QueryEngine::new(g.graph, data);
+        let (dists, hops, worst) = measure_greedy_batch(&engine, &queries);
         t.row(vec![
             n.to_string(),
-            g.hierarchy.log_aspect().to_string(),
+            log_aspect.to_string(),
             fmt(dists, 0),
             fmt(hops, 1),
-            (g.hierarchy.h() + 1).to_string(),
+            (h + 1).to_string(),
             fmt(worst, 3),
             n.to_string(),
         ]);
@@ -66,10 +77,12 @@ fn main() {
     ]);
     for eps in [1.0, 0.5, 0.25] {
         let g = GNet::build_fast(&data, eps);
-        let (dists, hops, worst) = measure_greedy(&g.graph, &data, &queries);
+        let phi = g.params.phi;
+        let engine = QueryEngine::new(g.graph, data.clone());
+        let (dists, hops, worst) = measure_greedy_batch(&engine, &queries);
         t.row(vec![
             fmt(eps, 2),
-            fmt(g.params.phi, 0),
+            fmt(phi, 0),
             fmt(dists, 0),
             fmt(hops, 1),
             fmt(worst, 4),
@@ -78,5 +91,43 @@ fn main() {
     }
     t.print();
     println!("\nSmaller ε buys a tighter worst ratio at ~φ^λ more distance work —");
-    println!("exactly the (1/ε)^λ trade-off of Theorem 1.1.");
+    println!("exactly the (1/ε)^λ trade-off of Theorem 1.1.\n");
+
+    // ---- Batched throughput vs thread count ---------------------------------
+    let n = if full_mode() { 16000 } else { 8000 };
+    let m = if full_mode() { 4096 } else { 1024 };
+    let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 25);
+    let data = Dataset::new(pts, Euclidean);
+    let g = GNet::build_fast(&data, 1.0);
+    let queries = workloads::uniform_queries(m, 2, 0.0, (n as f64).sqrt() * 4.0, 26);
+    let starts: Vec<u32> = (0..m).map(|i| spread_start(i, n)).collect();
+    let engine = QueryEngine::new(g.graph, data);
+
+    let mut t = Table::new(&["threads", "batch dists", "wall-clock s", "queries/s"]);
+    let mut reference_dists: Option<u64> = None;
+    let mut sweep: Vec<usize> = vec![1, 2, 4];
+    if !sweep.contains(&threads) {
+        sweep.push(threads);
+    }
+    for &tc in &sweep {
+        let e = engine.clone().with_threads(tc);
+        let t0 = Instant::now();
+        let batch = e.batch_greedy(&starts, &queries);
+        let secs = t0.elapsed().as_secs_f64();
+        // The engine contract: thread count never changes the work done.
+        let expect = *reference_dists.get_or_insert(batch.dist_comps);
+        assert_eq!(
+            batch.dist_comps, expect,
+            "distance totals must not depend on threads"
+        );
+        t.row(vec![
+            tc.to_string(),
+            batch.dist_comps.to_string(),
+            fmt(secs, 3),
+            fmt(m as f64 / secs, 0),
+        ]);
+    }
+    t.print();
+    println!("\n{m} queries on n = {n}: identical batch distance totals at every thread");
+    println!("count (asserted above); wall-clock scales with the cores available.");
 }

@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use pg_core::{greedy, Graph};
+use pg_core::{greedy, Graph, QueryEngine};
 use pg_metric::{Dataset, Metric};
 
 /// Ordinary least squares slope of `ln y` against `ln x` — the growth
@@ -45,6 +45,12 @@ pub fn linear_slope(xs: &[f64], ys: &[f64]) -> f64 {
     cov / var
 }
 
+/// The start vertex the measurement helpers assign to query `i` on an
+/// `n`-point dataset (a Knuth-hash stride through the vertex set).
+pub fn spread_start(i: usize, n: usize) -> u32 {
+    ((i * 2654435761) % n) as u32
+}
+
 /// Average greedy distance computations and hops over the given queries,
 /// cycling through start vertices. Returns `(avg_dists, avg_hops,
 /// worst_ratio)` where `worst_ratio` is the worst approximation ratio
@@ -59,8 +65,7 @@ pub fn measure_greedy<P, M: Metric<P>>(
     let mut hops = 0usize;
     let mut worst: f64 = 1.0;
     for (i, q) in queries.iter().enumerate() {
-        let start = ((i * 2654435761) % n) as u32;
-        let out = greedy(graph, data, start, q);
+        let out = greedy(graph, data, spread_start(i, n), q);
         comps += out.dist_comps;
         hops += out.hops.len();
         let (_, exact) = data.nearest_brute(q);
@@ -72,6 +77,34 @@ pub fn measure_greedy<P, M: Metric<P>>(
     }
     (
         comps as f64 / queries.len() as f64,
+        hops as f64 / queries.len() as f64,
+        worst,
+    )
+}
+
+/// [`measure_greedy`] through a [`QueryEngine`] batch: same start-vertex
+/// schedule, same `(avg_dists, avg_hops, worst_ratio)` — the engine
+/// guarantees per-query outcomes identical to the sequential `greedy`, so
+/// the two helpers agree for any thread count (asserted in tests).
+pub fn measure_greedy_batch<P: Sync, M: Metric<P> + Sync>(
+    engine: &QueryEngine<P, M>,
+    queries: &[P],
+) -> (f64, f64, f64) {
+    let n = engine.data().len();
+    let starts: Vec<u32> = (0..queries.len()).map(|i| spread_start(i, n)).collect();
+    let batch = engine.batch_greedy(&starts, queries);
+    let hops: usize = batch.outcomes.iter().map(|o| o.hops.len()).sum();
+    let mut worst: f64 = 1.0;
+    for (q, out) in queries.iter().zip(batch.outcomes.iter()) {
+        let (_, exact) = engine.data().nearest_brute(q);
+        if exact > 0.0 {
+            worst = worst.max(out.result_dist / exact);
+        } else if out.result_dist > 0.0 {
+            worst = f64::INFINITY;
+        }
+    }
+    (
+        batch.dist_comps as f64 / queries.len() as f64,
         hops as f64 / queries.len() as f64,
         worst,
     )
@@ -135,6 +168,39 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// The `--threads N` / `--threads=N` flag, if present and valid.
+pub fn threads_flag() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_threads_flag(&args)
+}
+
+/// Flag-parsing core of [`threads_flag`], split out for testability.
+fn parse_threads_flag(args: &[String]) -> Option<usize> {
+    for (i, a) in args.iter().enumerate() {
+        if a == "--threads" {
+            return args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|&t| t >= 1);
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&t| t >= 1);
+        }
+    }
+    None
+}
+
+/// Applies the `--threads` flag (if any) to the global pool default and
+/// returns the effective worker count. Every `exp_*` binary calls this
+/// first, so `--threads 1` reproduces the sequential wall-clock and the
+/// default engages the whole machine (or `PG_THREADS`).
+pub fn init_threads() -> usize {
+    if let Some(t) = threads_flag() {
+        rayon::set_default_threads(t);
+    }
+    rayon::current_num_threads()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +226,46 @@ mod tests {
         let mut t = Table::new(&["a", "bb"]);
         t.row(vec!["1".into(), "2".into()]);
         t.print();
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_threads_flag(&to_args(&["exp", "--threads", "4"])),
+            Some(4)
+        );
+        assert_eq!(
+            parse_threads_flag(&to_args(&["exp", "--threads=2"])),
+            Some(2)
+        );
+        assert_eq!(parse_threads_flag(&to_args(&["exp", "--full"])), None);
+        assert_eq!(parse_threads_flag(&to_args(&["exp", "--threads"])), None);
+        assert_eq!(
+            parse_threads_flag(&to_args(&["exp", "--threads", "0"])),
+            None
+        );
+        assert_eq!(
+            parse_threads_flag(&to_args(&["exp", "--threads", "x"])),
+            None
+        );
+    }
+
+    #[test]
+    fn engine_measurement_agrees_with_sequential_helper() {
+        use pg_core::{GNet, QueryEngine};
+        use pg_metric::{Dataset, Euclidean};
+        use pg_workloads as workloads;
+
+        let pts = workloads::uniform_cube(300, 2, 60.0, 5);
+        let data = Dataset::new(pts, Euclidean);
+        let g = GNet::build_fast(&data, 1.0);
+        let queries = workloads::uniform_queries(20, 2, 0.0, 60.0, 6);
+        let seq = measure_greedy(&g.graph, &data, &queries);
+        for threads in [1, 4] {
+            let engine = QueryEngine::new(g.graph.clone(), data.clone()).with_threads(threads);
+            let par = measure_greedy_batch(&engine, &queries);
+            assert_eq!(seq, par, "helpers diverged at {threads} threads");
+        }
     }
 }

@@ -73,7 +73,7 @@ pub struct DynamicGNet<P, M> {
     min_index_size: usize,
 }
 
-impl<P: Clone, M: Metric<P> + Clone> DynamicGNet<P, M> {
+impl<P: Clone + Sync, M: Metric<P> + Clone + Sync> DynamicGNet<P, M> {
     /// Creates an empty index for `ε ∈ (0, 1]`.
     pub fn new(metric: M, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon <= 1.0);

@@ -1,0 +1,304 @@
+//! Parallel batched query execution.
+//!
+//! The paper's cost model counts distance computations because "distance
+//! calculation is the bottleneck" (Section 1.1) — which is exactly why a
+//! serving system runs many queries at once. [`QueryEngine`] owns a built
+//! [`Graph`] and its [`Dataset`] and shards query batches across a thread
+//! pool (`crates/compat/rayon`), while returning results in **input order,
+//! identical to the sequential routines** ([`greedy`](crate::search::greedy),
+//! [`query`], [`beam_search`]): the routing walk for
+//! one query never depends on any other query, so parallelism cannot change
+//! an answer, only the wall clock.
+//!
+//! Distance accounting stays sound under parallelism on both levels: each
+//! outcome carries its own `dist_comps`, and the [`Counting`] metric wrapper
+//! (`pg_metric`) uses a shared `Arc<AtomicU64>`, so concurrent shards all
+//! flow into one total.
+//!
+//! [`Counting`]: pg_metric::Counting
+//!
+//! # Example
+//!
+//! ```
+//! use pg_core::engine::QueryEngine;
+//! use pg_core::GNet;
+//! use pg_metric::{Dataset, Euclidean};
+//!
+//! let points: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+//! let data = Dataset::new(points, Euclidean);
+//! let pg = GNet::build(&data, 1.0);
+//!
+//! let engine = QueryEngine::new(pg.graph, data).with_threads(2);
+//! let queries: Vec<Vec<f64>> = vec![vec![7.2, 1.0], vec![41.9, 3.3]];
+//! let starts = vec![0, 30];
+//! let batch = engine.batch_greedy(&starts, &queries);
+//! assert_eq!(batch.outcomes.len(), 2);
+//! // Same answers as running `greedy` one query at a time:
+//! let solo = pg_core::greedy(engine.graph(), engine.data(), 0, &queries[0]);
+//! assert_eq!(batch.outcomes[0].result, solo.result);
+//! assert_eq!(batch.dist_comps, batch.outcomes.iter().map(|o| o.dist_comps).sum::<u64>());
+//! ```
+
+use pg_metric::{Dataset, Metric};
+
+use crate::graph::Graph;
+use crate::search::{beam_search, query, GreedyOutcome};
+
+/// The result of a [`QueryEngine::batch_greedy`] / [`QueryEngine::batch_query`]
+/// call: per-query outcomes in input order plus the aggregated distance count.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One [`GreedyOutcome`] per query, in the order the queries were given.
+    pub outcomes: Vec<GreedyOutcome>,
+    /// Total distance computations across the batch (the sum of the
+    /// per-outcome `dist_comps`).
+    pub dist_comps: u64,
+}
+
+/// The result of a [`QueryEngine::batch_beam`] call.
+#[derive(Debug, Clone)]
+pub struct BatchBeamOutcome {
+    /// Per-query `(id, dist)` result lists (ascending by distance, ties by
+    /// id), in the order the queries were given.
+    pub results: Vec<Vec<(u32, f64)>>,
+    /// Total distance computations across the batch.
+    pub dist_comps: u64,
+}
+
+/// A batched query executor owning a routable index: a [`Graph`] over a
+/// [`Dataset`].
+///
+/// The thread count is resolved at construction from the pool default
+/// (`--threads` flag via `rayon::set_default_threads`, else `PG_THREADS`,
+/// else the machine's parallelism) and can be overridden per engine with
+/// [`QueryEngine::with_threads`]. Every `batch_*` method is deterministic:
+/// the output is independent of the thread count.
+#[derive(Debug, Clone)]
+pub struct QueryEngine<P, M> {
+    graph: Graph,
+    data: Dataset<P, M>,
+    threads: usize,
+}
+
+impl<P, M: Metric<P>> QueryEngine<P, M> {
+    /// Creates an engine over a built graph and its dataset.
+    ///
+    /// Panics if the graph's vertex count differs from the dataset size.
+    pub fn new(graph: Graph, data: Dataset<P, M>) -> Self {
+        assert_eq!(
+            graph.n(),
+            data.len(),
+            "graph vertex count must match dataset size"
+        );
+        QueryEngine {
+            graph,
+            data,
+            threads: rayon::current_num_threads(),
+        }
+    }
+
+    /// Overrides the worker count for this engine (at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count `batch_*` calls will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The routed graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The dataset (points + metric).
+    pub fn data(&self) -> &Dataset<P, M> {
+        &self.data
+    }
+
+    /// Consumes the engine, handing back the graph and dataset.
+    pub fn into_parts(self) -> (Graph, Dataset<P, M>) {
+        (self.graph, self.data)
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> QueryEngine<P, M> {
+    /// Runs [`greedy`](crate::search::greedy) for every `(start, query)`
+    /// pair, sharded across the pool. `starts` and `queries` must have equal
+    /// lengths; outcome `i` is exactly `greedy(graph, data, starts[i],
+    /// &queries[i])`.
+    pub fn batch_greedy(&self, starts: &[u32], queries: &[P]) -> BatchOutcome {
+        self.batch_query(starts, queries, u64::MAX)
+    }
+
+    /// Runs the budgeted [`query`] for every
+    /// `(start, query)` pair, sharded across the pool. Outcome `i` is exactly
+    /// `query(graph, data, starts[i], &queries[i], budget)`.
+    pub fn batch_query(&self, starts: &[u32], queries: &[P], budget: u64) -> BatchOutcome {
+        assert_eq!(
+            starts.len(),
+            queries.len(),
+            "one start vertex per query required"
+        );
+        let outcomes = rayon::par_map_indexed_with(self.threads, queries, |i, q| {
+            query(&self.graph, &self.data, starts[i], q, budget)
+        });
+        let dist_comps = outcomes.iter().map(|o| o.dist_comps).sum();
+        BatchOutcome {
+            outcomes,
+            dist_comps,
+        }
+    }
+
+    /// Runs [`beam_search`] (width `ef`, top `k`) for every `(start, query)`
+    /// pair, sharded across the pool. Result `i` is exactly
+    /// `beam_search(graph, data, starts[i], &queries[i], ef, k)`.
+    pub fn batch_beam(
+        &self,
+        starts: &[u32],
+        queries: &[P],
+        ef: usize,
+        k: usize,
+    ) -> BatchBeamOutcome {
+        assert_eq!(
+            starts.len(),
+            queries.len(),
+            "one start vertex per query required"
+        );
+        let per_query = rayon::par_map_indexed_with(self.threads, queries, |i, q| {
+            beam_search(&self.graph, &self.data, starts[i], q, ef, k)
+        });
+        let dist_comps = per_query.iter().map(|(_, c)| c).sum();
+        BatchBeamOutcome {
+            results: per_query.into_iter().map(|(r, _)| r).collect(),
+            dist_comps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnet::GNet;
+    use crate::search::greedy;
+    use pg_metric::{Counting, Euclidean};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_dataset(n: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dataset::new(
+            (0..n)
+                .map(|_| vec![rng.random_range(0.0..40.0), rng.random_range(0.0..40.0)])
+                .collect(),
+            Euclidean,
+        )
+    }
+
+    fn random_queries(m: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .map(|_| vec![rng.random_range(-5.0..45.0), rng.random_range(-5.0..45.0)])
+            .collect()
+    }
+
+    fn outcomes_equal(a: &GreedyOutcome, b: &GreedyOutcome) -> bool {
+        a.result == b.result
+            && a.result_dist == b.result_dist
+            && a.hops == b.hops
+            && a.dist_comps == b.dist_comps
+            && a.self_terminated == b.self_terminated
+    }
+
+    #[test]
+    fn batch_greedy_matches_sequential_for_every_thread_count() {
+        let ds = random_dataset(200, 1);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(40, 2);
+        let starts: Vec<u32> = (0..40).map(|i| (i * 31) % 200).collect();
+        let sequential: Vec<GreedyOutcome> = starts
+            .iter()
+            .zip(queries.iter())
+            .map(|(&s, q)| greedy(&pg.graph, &ds, s, q))
+            .collect();
+        for threads in [1, 2, 8] {
+            let engine = QueryEngine::new(pg.graph.clone(), ds.clone()).with_threads(threads);
+            let batch = engine.batch_greedy(&starts, &queries);
+            assert_eq!(batch.outcomes.len(), sequential.len());
+            for (b, s) in batch.outcomes.iter().zip(sequential.iter()) {
+                assert!(outcomes_equal(b, s), "divergence at {threads} threads");
+            }
+            assert_eq!(
+                batch.dist_comps,
+                sequential.iter().map(|o| o.dist_comps).sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_query_respects_budget_exactly() {
+        let ds = random_dataset(150, 3);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(25, 4);
+        let starts = vec![0u32; 25];
+        let engine = QueryEngine::new(pg.graph.clone(), ds.clone()).with_threads(4);
+        for budget in [1, 5, 20] {
+            let batch = engine.batch_query(&starts, &queries, budget);
+            for (i, (q, out)) in queries.iter().zip(batch.outcomes.iter()).enumerate() {
+                let solo = crate::search::query(&pg.graph, &ds, starts[i], q, budget);
+                assert!(outcomes_equal(out, &solo));
+                assert!(out.dist_comps <= budget.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_beam_matches_sequential_and_orders_results() {
+        let ds = random_dataset(180, 5);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(30, 6);
+        let starts: Vec<u32> = (0..30).map(|i| (i * 13) % 180).collect();
+        let engine = QueryEngine::new(pg.graph.clone(), ds.clone()).with_threads(3);
+        let batch = engine.batch_beam(&starts, &queries, 16, 4);
+        let mut comps_total = 0u64;
+        for (i, q) in queries.iter().enumerate() {
+            let (solo, c) = beam_search(&pg.graph, &ds, starts[i], q, 16, 4);
+            assert_eq!(batch.results[i], solo);
+            comps_total += c;
+        }
+        assert_eq!(batch.dist_comps, comps_total);
+    }
+
+    #[test]
+    fn counting_metric_total_matches_batch_aggregate_under_parallelism() {
+        let base = random_dataset(160, 7);
+        let counted = Dataset::new(base.points().to_vec(), Counting::new(Euclidean));
+        let pg = GNet::build(&counted, 1.0);
+        let queries = random_queries(32, 8);
+        let starts = vec![5u32; 32];
+        let engine = QueryEngine::new(pg.graph, counted).with_threads(4);
+        engine.data().metric().reset();
+        let batch = engine.batch_greedy(&starts, &queries);
+        // The shared Arc<AtomicU64> collects every shard's evaluations.
+        assert_eq!(engine.data().metric().count(), batch.dist_comps);
+    }
+
+    #[test]
+    #[should_panic(expected = "one start vertex per query")]
+    fn mismatched_starts_rejected() {
+        let ds = random_dataset(50, 9);
+        let pg = GNet::build(&ds, 1.0);
+        let engine = QueryEngine::new(pg.graph, ds);
+        let _ = engine.batch_greedy(&[0, 1], &random_queries(3, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match dataset size")]
+    fn graph_dataset_size_mismatch_rejected() {
+        let ds = random_dataset(50, 11);
+        let _ = QueryEngine::new(Graph::empty(49), ds);
+    }
+}

@@ -27,6 +27,26 @@ use pg_nets::{NetHierarchy, RelativesCascade};
 use crate::graph::{Graph, GraphBuilder};
 use crate::params::GNetParams;
 
+/// Shards the "which centers lie within `reach` of each point" scan across
+/// the thread pool: entry `p` of the returned vector lists, in center order,
+/// every `y ∈ centers` with `y != p` and `D(p, y) <= reach`. The
+/// order-preserving parallel map keeps the output bit-identical to the
+/// sequential double loop for any thread count — the shared candidate
+/// generation of every full-scan `G_net` builder below.
+fn centers_within_reach<P: Sync, M: Metric<P> + Sync>(
+    data: &Dataset<P, M>,
+    centers: &[u32],
+    reach: f64,
+) -> Vec<Vec<u32>> {
+    rayon::par_map_range(data.len(), |p| {
+        centers
+            .iter()
+            .copied()
+            .filter(|&y| y != p as u32 && data.dist(p, y as usize) <= reach)
+            .collect()
+    })
+}
+
 /// The net-based proximity graph of Theorem 1.1, together with the net
 /// hierarchy it was built from (retained for the merged graph of Theorem 1.3
 /// and for diagnostics).
@@ -43,18 +63,25 @@ pub struct GNet {
 impl GNet {
     /// Builds `G_net` with the fast (near-linear) construction. Alias of
     /// [`GNet::build_fast`].
-    pub fn build<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+    pub fn build<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, epsilon: f64) -> Self {
         Self::build_fast(data, epsilon)
     }
 
     /// Fast construction via the relatives cascade (see module docs).
-    pub fn build_fast<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+    pub fn build_fast<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, epsilon: f64) -> Self {
         let hierarchy = NetHierarchy::build(data);
         Self::build_fast_on(data, epsilon, hierarchy)
     }
 
     /// Fast construction on a pre-built hierarchy.
-    pub fn build_fast_on<P, M: Metric<P>>(
+    ///
+    /// The per-level candidate-generation loop is sharded across the thread
+    /// pool (`crates/compat/rayon`): each point's candidate set depends only
+    /// on the immutable level snapshot, and the per-point target lists are
+    /// re-assembled in id order, so the resulting graph is **bit-identical
+    /// to the sequential construction for any thread count** (asserted in
+    /// tests) and the distance-computation total is unchanged.
+    pub fn build_fast_on<P: Sync, M: Metric<P> + Sync>(
         data: &Dataset<P, M>,
         epsilon: f64,
         hierarchy: NetHierarchy,
@@ -70,13 +97,20 @@ impl GNet {
             let lvl = hierarchy.level(cascade.level_idx());
             let rel = cascade.relatives();
             let reach = params.phi * lvl.radius;
-            for p in 0..n as u32 {
-                let cpos = lvl.cover[p as usize] as usize;
+            let per_point = rayon::par_map_range(n, |p| {
+                let cpos = lvl.cover[p] as usize;
+                let mut targets = Vec::new();
                 for &ypos in &rel[cpos] {
                     let y = lvl.centers[ypos as usize];
-                    if y != p && data.dist(p as usize, y as usize) <= reach {
-                        builder.add_edge(p, y);
+                    if y != p as u32 && data.dist(p, y as usize) <= reach {
+                        targets.push(y);
                     }
+                }
+                targets
+            });
+            for (p, targets) in per_point.into_iter().enumerate() {
+                for y in targets {
+                    builder.add_edge(p as u32, y);
                 }
             }
             if !cascade.descend() {
@@ -93,13 +127,15 @@ impl GNet {
 
     /// Ground-truth construction: full scan of every net level for every
     /// point (`O(n * Σ_i |Y_i|)` distances).
-    pub fn build_naive<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+    pub fn build_naive<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, epsilon: f64) -> Self {
         let hierarchy = NetHierarchy::build(data);
         Self::build_naive_on(data, epsilon, hierarchy)
     }
 
-    /// Naive construction on a pre-built hierarchy.
-    pub fn build_naive_on<P, M: Metric<P>>(
+    /// Naive construction on a pre-built hierarchy. The per-point level
+    /// scans are sharded across the thread pool; see
+    /// [`GNet::build_fast_on`] for why the output is thread-count-invariant.
+    pub fn build_naive_on<P: Sync, M: Metric<P> + Sync>(
         data: &Dataset<P, M>,
         epsilon: f64,
         hierarchy: NetHierarchy,
@@ -109,11 +145,10 @@ impl GNet {
         let mut builder = GraphBuilder::new(n);
         for lvl in hierarchy.levels() {
             let reach = params.phi * lvl.radius;
-            for p in 0..n as u32 {
-                for &y in &lvl.centers {
-                    if y != p && data.dist(p as usize, y as usize) <= reach {
-                        builder.add_edge(p, y);
-                    }
+            let per_point = centers_within_reach(data, &lvl.centers, reach);
+            for (p, targets) in per_point.into_iter().enumerate() {
+                for y in targets {
+                    builder.add_edge(p as u32, y);
                 }
             }
         }
@@ -207,7 +242,7 @@ impl GNet {
 /// `φ ≥ 1 + 2^{η+1}`, but navigability on a given dataset may survive with a
 /// smaller reach (fewer edges) — or break, which the navigability checker
 /// then witnesses.
-pub fn gnet_edges_with_phi<P, M: Metric<P>>(
+pub fn gnet_edges_with_phi<P: Sync, M: Metric<P> + Sync>(
     data: &Dataset<P, M>,
     hierarchy: &NetHierarchy,
     phi: f64,
@@ -217,11 +252,10 @@ pub fn gnet_edges_with_phi<P, M: Metric<P>>(
     let mut builder = GraphBuilder::new(n);
     for lvl in hierarchy.levels() {
         let reach = phi * lvl.radius;
-        for p in 0..n as u32 {
-            for &y in &lvl.centers {
-                if y != p && data.dist(p as usize, y as usize) <= reach {
-                    builder.add_edge(p, y);
-                }
+        let per_point = centers_within_reach(data, &lvl.centers, reach);
+        for (p, targets) in per_point.into_iter().enumerate() {
+            for y in targets {
+                builder.add_edge(p as u32, y);
             }
         }
     }
@@ -255,7 +289,7 @@ pub struct GNetIndependent {
 impl GNetIndependent {
     /// Builds over independent greedy nets at the standard radius ladder
     /// (top ≈ diameter, bottom < `d_min`).
-    pub fn build<P, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
+    pub fn build<P: Sync, M: Metric<P> + Sync>(data: &Dataset<P, M>, epsilon: f64) -> Self {
         // Reuse the fast hierarchy only to learn the radius ladder; the nets
         // themselves are drawn independently per level.
         let ladder = NetHierarchy::build(data);
@@ -266,7 +300,7 @@ impl GNetIndependent {
 
     /// Builds over the given `(radius, centers)` levels (each must be a
     /// valid `radius`-net of the whole dataset).
-    pub fn build_on<P, M: Metric<P>>(
+    pub fn build_on<P: Sync, M: Metric<P> + Sync>(
         data: &Dataset<P, M>,
         epsilon: f64,
         levels: Vec<(f64, Vec<u32>)>,
@@ -276,11 +310,10 @@ impl GNetIndependent {
         let mut builder = GraphBuilder::new(n);
         for (radius, centers) in &levels {
             let reach = params.phi * radius;
-            for p in 0..n as u32 {
-                for &y in centers {
-                    if y != p && data.dist(p as usize, y as usize) <= reach {
-                        builder.add_edge(p, y);
-                    }
+            let per_point = centers_within_reach(data, centers, reach);
+            for (p, targets) in per_point.into_iter().enumerate() {
+                for y in targets {
+                    builder.add_edge(p as u32, y);
                 }
             }
         }
@@ -324,6 +357,29 @@ mod tests {
         let fast = GNet::build_fast_on(&ds, 1.0, h.clone());
         let naive = GNet::build_naive_on(&ds, 1.0, h);
         assert_eq!(fast.graph, naive.graph, "edge sets must be identical");
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        // The sharded candidate generation must produce the same graph as
+        // the single-threaded run, bit for bit — for both builders.
+        let ds = random_dataset(140, 2, 12);
+        let h = NetHierarchy::build(&ds);
+        let fast1 = rayon::with_threads(1, || GNet::build_fast_on(&ds, 1.0, h.clone()));
+        let naive1 = rayon::with_threads(1, || GNet::build_naive_on(&ds, 1.0, h.clone()));
+        for threads in [2, 4, 7] {
+            let fast_t = rayon::with_threads(threads, || GNet::build_fast_on(&ds, 1.0, h.clone()));
+            let naive_t =
+                rayon::with_threads(threads, || GNet::build_naive_on(&ds, 1.0, h.clone()));
+            assert_eq!(
+                fast1.graph, fast_t.graph,
+                "fast diverged at {threads} threads"
+            );
+            assert_eq!(
+                naive1.graph, naive_t.graph,
+                "naive diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,40 @@ impl Graph {
         Graph { offsets, targets }
     }
 
+    /// Builds from adjacency lists that are **already sorted ascending,
+    /// duplicate-free and self-loop-free** — the CSR arrays are assembled
+    /// directly, skipping the per-list sort + dedup of
+    /// [`Graph::from_adjacency`]. The precondition is validated with a
+    /// single linear scan (panicking on violation), so this is `O(E)`
+    /// instead of `O(E log E)`.
+    ///
+    /// This is the checked public entry point for callers that already hold
+    /// canonical lists (e.g. a deserialized index). The in-crate hot paths
+    /// that produce canonical lists ([`Graph::complete`],
+    /// [`Graph::without_edge`], [`Graph::union`]) go one step further and
+    /// emit the CSR arrays without materializing per-vertex `Vec`s at all.
+    pub fn from_sorted_adjacency(adj: Vec<Vec<u32>>) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        offsets.push(0);
+        for (v, list) in adj.into_iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for &t in &list {
+                assert!((t as usize) < n, "edge target {t} out of range (n = {n})");
+                assert!(t as usize != v, "self-loop ({v}, {t}) in sorted adjacency");
+                assert!(
+                    prev.is_none_or(|p| p < t),
+                    "adjacency of {v} not strictly ascending at target {t}"
+                );
+                prev = Some(t);
+            }
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len());
+        }
+        Graph { offsets, targets }
+    }
+
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
         Graph {
@@ -45,12 +79,19 @@ impl Graph {
     }
 
     /// The complete directed graph on `n` vertices — the trivial
-    /// `(1+ε)`-proximity graph of Section 1.1 with `Θ(n^2)` edges.
+    /// `(1+ε)`-proximity graph of Section 1.1 with `Θ(n^2)` edges. The CSR
+    /// arrays are emitted directly (each list is ascending by construction),
+    /// avoiding the `O(n^2 log n)` sort a round-trip through
+    /// [`Graph::from_adjacency`] would pay.
     pub fn complete(n: usize) -> Self {
-        let adj = (0..n)
-            .map(|v| (0..n as u32).filter(|&t| t as usize != v).collect())
-            .collect();
-        Graph::from_adjacency(adj)
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+        offsets.push(0);
+        for v in 0..n as u32 {
+            targets.extend((0..n as u32).filter(|&t| t != v));
+            offsets.push(targets.len());
+        }
+        Graph { offsets, targets }
     }
 
     /// Number of vertices.
@@ -97,28 +138,60 @@ impl Graph {
     }
 
     /// A copy of the graph with the single directed edge `(u, v)` removed —
-    /// used for failure injection in the lower-bound experiments.
+    /// used for failure injection in the lower-bound experiments. A direct
+    /// CSR copy (the stored lists are already canonical): `O(E)`, no re-sort.
     pub fn without_edge(&self, u: u32, v: u32) -> Graph {
-        let mut adj: Vec<Vec<u32>> = (0..self.n() as u32)
-            .map(|w| self.neighbors(w).to_vec())
+        let pos = match self.neighbors(u).binary_search(&v) {
+            Ok(pos) => self.offsets[u as usize] + pos,
+            Err(_) => return self.clone(), // edge absent: plain copy
+        };
+        let mut targets = Vec::with_capacity(self.targets.len() - 1);
+        targets.extend_from_slice(&self.targets[..pos]);
+        targets.extend_from_slice(&self.targets[pos + 1..]);
+        let offsets = self
+            .offsets
+            .iter()
+            .enumerate()
+            .map(|(w, &o)| if w > u as usize { o - 1 } else { o })
             .collect();
-        adj[u as usize].retain(|&t| t != v);
-        Graph::from_adjacency(adj)
+        Graph { offsets, targets }
     }
 
     /// Vertex-wise union of two graphs on the same vertex set — the merge
     /// operation of Section 5 ("the out-edge set of each point `p` in `G` is
-    /// the union of those in `G'_net` and `G_geo`").
+    /// the union of those in `G'_net` and `G_geo`"). Per vertex, the two
+    /// stored lists are already sorted, so they are merged directly into the
+    /// new CSR arrays: `O(E)` total instead of sort-based `O(E log E)`.
     pub fn union(&self, other: &Graph) -> Graph {
         assert_eq!(self.n(), other.n(), "vertex sets must match");
-        let adj = (0..self.n() as u32)
-            .map(|v| {
-                let mut list = self.neighbors(v).to_vec();
-                list.extend_from_slice(other.neighbors(v));
-                list
-            })
-            .collect();
-        Graph::from_adjacency(adj)
+        let mut offsets = Vec::with_capacity(self.n() + 1);
+        let mut targets = Vec::with_capacity(self.edge_count() + other.edge_count());
+        offsets.push(0);
+        for v in 0..self.n() as u32 {
+            let (a, b) = (self.neighbors(v), other.neighbors(v));
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        targets.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        targets.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        targets.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            targets.extend_from_slice(&a[i..]);
+            targets.extend_from_slice(&b[j..]);
+            offsets.push(targets.len());
+        }
+        Graph { offsets, targets }
     }
 
     /// Iterates all directed edges `(u, v)`.
@@ -214,6 +287,45 @@ mod tests {
     }
 
     #[test]
+    fn from_sorted_adjacency_matches_from_adjacency() {
+        let lists = vec![vec![1, 2, 4], vec![0, 3], vec![], vec![0, 1, 2, 4], vec![3]];
+        let a = Graph::from_sorted_adjacency(lists.clone());
+        let b = Graph::from_adjacency(lists);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly ascending")]
+    fn from_sorted_adjacency_rejects_unsorted_lists() {
+        let _ = Graph::from_sorted_adjacency(vec![vec![2, 1], vec![], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_sorted_adjacency_rejects_self_loops() {
+        let _ = Graph::from_sorted_adjacency(vec![vec![0, 1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly ascending")]
+    fn from_sorted_adjacency_rejects_duplicates() {
+        let _ = Graph::from_sorted_adjacency(vec![vec![1, 1], vec![0]]);
+    }
+
+    #[test]
+    fn complete_direct_csr_matches_the_adjacency_path() {
+        for n in [0, 1, 2, 7, 20] {
+            let direct = Graph::complete(n);
+            let via_lists = Graph::from_adjacency(
+                (0..n)
+                    .map(|v| (0..n as u32).filter(|&t| t as usize != v).collect())
+                    .collect(),
+            );
+            assert_eq!(direct, via_lists, "mismatch at n = {n}");
+        }
+    }
+
+    #[test]
     fn complete_graph_has_n_times_n_minus_one_edges() {
         let g = Graph::complete(7);
         assert_eq!(g.edge_count(), 42);
@@ -240,6 +352,33 @@ mod tests {
         assert_eq!(u.neighbors(0), &[1, 2]);
         assert_eq!(u.neighbors(1), &[0]);
         assert_eq!(u.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn without_edge_on_absent_edge_is_identity() {
+        let g = Graph::from_adjacency(vec![vec![1, 2], vec![2], vec![]]);
+        assert_eq!(g.without_edge(1, 0), g);
+        assert_eq!(g.without_edge(2, 1), g);
+    }
+
+    #[test]
+    fn union_merge_matches_sort_based_construction() {
+        // The direct sorted-merge union must agree with the generic
+        // from_adjacency path (concatenate, sort, dedup) on overlapping,
+        // disjoint and empty lists alike.
+        let a = Graph::from_adjacency(vec![vec![1, 3, 4], vec![0], vec![], vec![2, 4], vec![0]]);
+        let b = Graph::from_adjacency(vec![vec![2, 3], vec![0, 2], vec![1], vec![], vec![0, 3]]);
+        let direct = a.union(&b);
+        let generic = Graph::from_adjacency(
+            (0..a.n() as u32)
+                .map(|v| {
+                    let mut list = a.neighbors(v).to_vec();
+                    list.extend_from_slice(b.neighbors(v));
+                    list
+                })
+                .collect(),
+        );
+        assert_eq!(direct, generic);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //! * [`merged`] — the merged Euclidean graph of Theorem 1.3 with jackpot
 //!   vertex sampling (Eq. 17) and best-of-runs amplification (Section 5.3);
 //! * [`dynamic`] — an insert/delete extension: logarithmic rebuilding on top
-//!   of `G_net`, keeping the `(1+ε)` guarantee at all times.
+//!   of `G_net`, keeping the `(1+ε)` guarantee at all times;
+//! * [`engine`] — the parallel batched query executor: shards query batches
+//!   across a thread pool with results identical to the sequential routines.
 //!
 //! # Quick example
 //!
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dynamic;
+pub mod engine;
 pub mod gnet;
 pub mod graph;
 pub mod merged;
@@ -52,6 +55,7 @@ pub mod search;
 pub mod theta;
 
 pub use dynamic::{DynamicAnswer, DynamicGNet, DynamicStats};
+pub use engine::{BatchBeamOutcome, BatchOutcome, QueryEngine};
 pub use gnet::{gnet_edges_with_phi, GNet, GNetIndependent};
 pub use graph::{Graph, GraphBuilder};
 pub use merged::{MergedGraph, MergedParams};

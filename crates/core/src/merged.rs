@@ -94,7 +94,10 @@ pub struct MergedGraph {
 
 impl MergedGraph {
     /// Builds `G_net` and the θ-graph, then merges (one sampling run).
-    pub fn build<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, params: MergedParams) -> Self {
+    pub fn build<M: Metric<Vec<f64>> + Sync>(
+        data: &Dataset<Vec<f64>, M>,
+        params: MergedParams,
+    ) -> Self {
         let gnet = GNet::build_fast(data, params.epsilon);
         let theta = match params.theta {
             Some(t) => ThetaGraph::build(data, t),
@@ -106,7 +109,7 @@ impl MergedGraph {
     /// Section 5.3 amplification: performs `runs` independent jackpot
     /// samplings (reusing the same `G_net` and θ-graph) and returns the
     /// merged graph with the fewest edges. The paper uses `z' log n` runs.
-    pub fn build_best_of<M: Metric<Vec<f64>>>(
+    pub fn build_best_of<M: Metric<Vec<f64>> + Sync>(
         data: &Dataset<Vec<f64>, M>,
         params: MergedParams,
         runs: usize,

@@ -44,11 +44,23 @@ pub fn greedy<P, M: Metric<P>>(
 }
 
 /// The budgeted `query(p_start, q, Q)` wrapper of Section 1.1: runs `greedy`
-/// until it self-terminates or has computed `budget` distances, then returns
+/// until it self-terminates or the distance budget runs out, then returns
 /// the last hop vertex.
 ///
-/// Every distance evaluation is counted, including the initial
-/// `D(p_start, q)`.
+/// Budget semantics (pinned by the regression tests below):
+///
+/// * A distance is only computed while `comps < budget`; when the budget
+///   runs out **mid-scan**, the closest out-neighbor of `cur` is unknown, so
+///   no further hop is taken and the last fully-processed hop vertex is
+///   returned with `self_terminated = false`.
+/// * A scan that **completes** always executes line 4 — including when the
+///   budget ran out exactly at the scan's last neighbor: hopping costs no
+///   distance computation, so the walk takes that free improving hop (the
+///   next scan then terminates immediately). Consequently a budget equal to
+///   greedy's exact cost reproduces greedy's result *and* its
+///   `self_terminated = true` flag.
+/// * The initial `D(p_start, q)` evaluation always happens (the result
+///   distance must be known), so the effective budget is at least 1.
 pub fn query<P, M: Metric<P>>(
     graph: &Graph,
     data: &Dataset<P, M>,
@@ -63,38 +75,33 @@ pub fn query<P, M: Metric<P>>(
 
     comps += 1;
     let mut d_cur = data.dist_to(cur as usize, q);
-    if comps >= budget {
-        return GreedyOutcome {
-            result: cur,
-            result_dist: d_cur,
-            hops,
-            dist_comps: comps,
-            self_terminated: false,
-        };
-    }
 
     loop {
         // Line 3: the out-neighbor of cur closest to q.
         let mut best: Option<(u32, f64)> = None;
+        let mut truncated = false;
         for &nb in graph.neighbors(cur) {
+            if comps >= budget {
+                truncated = true;
+                break;
+            }
             comps += 1;
             let d = data.dist_to(nb as usize, q);
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((nb, d));
             }
-            if comps >= budget {
-                // Forced termination mid-scan: return the last hop vertex
-                // (line 3 of `query`), possibly hopping once more if the
-                // partial scan already found an improvement — the paper
-                // returns the last *hop vertex*, which is `cur`.
-                return GreedyOutcome {
-                    result: cur,
-                    result_dist: d_cur,
-                    hops,
-                    dist_comps: comps,
-                    self_terminated: false,
-                };
-            }
+        }
+        if truncated {
+            // Forced termination mid-scan: the partial scan cannot certify
+            // the closest out-neighbor, so the last hop vertex is returned
+            // as-is (see the budget semantics above).
+            return GreedyOutcome {
+                result: cur,
+                result_dist: d_cur,
+                hops,
+                dist_comps: comps,
+                self_terminated: false,
+            };
         }
         // Line 4.
         match best {
@@ -166,14 +173,15 @@ pub fn beam_search<P, M: Metric<P>>(
     let d0 = data.dist_to(p_start as usize, q);
 
     // `frontier`: min-heap of candidates to expand; `results`: max-heap of
-    // the best `ef` seen.
+    // the best `ef` seen. `worst` mirrors `results.peek()` and is refreshed
+    // only when the heap changes, instead of re-peeking per neighbor.
     let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
     let mut results: BinaryHeap<Cand> = BinaryHeap::new();
     frontier.push(Reverse(Cand(d0, p_start)));
     results.push(Cand(d0, p_start));
+    let mut worst = d0;
 
     while let Some(Reverse(Cand(d, v))) = frontier.pop() {
-        let worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
         if results.len() >= ef && d > worst {
             break;
         }
@@ -184,13 +192,13 @@ pub fn beam_search<P, M: Metric<P>>(
             visited[nb as usize] = true;
             comps += 1;
             let dn = data.dist_to(nb as usize, q);
-            let worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
             if results.len() < ef || dn < worst {
                 frontier.push(Reverse(Cand(dn, nb)));
                 results.push(Cand(dn, nb));
                 if results.len() > ef {
                     results.pop();
                 }
+                worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
             }
         }
     }
@@ -298,6 +306,74 @@ mod tests {
     }
 
     #[test]
+    fn budget_one_returns_start_without_scanning() {
+        let ds = line_dataset(50);
+        let g = path_graph(50);
+        let out = query(&g, &ds, 0, &vec![49.0], 1);
+        assert_eq!(out.result, 0);
+        assert_eq!(out.dist_comps, 1);
+        assert_eq!(out.hops, vec![0]);
+        assert!(!out.self_terminated);
+    }
+
+    #[test]
+    fn budget_at_exact_scan_boundary_takes_the_free_hop() {
+        // Budget 2: the start evaluation plus vertex 0's single-neighbor
+        // scan, which completes exactly as the budget runs out. The hop to
+        // the found improvement costs no distance computation, so the walk
+        // takes it; the next scan is then truncated immediately.
+        let ds = line_dataset(10);
+        let g = path_graph(10);
+        let out = query(&g, &ds, 0, &vec![9.0], 2);
+        assert_eq!(out.result, 1);
+        assert_eq!(out.dist_comps, 2);
+        assert_eq!(out.hops, vec![0, 1]);
+        assert!(!out.self_terminated);
+    }
+
+    #[test]
+    fn budget_equal_to_greedy_cost_reports_self_termination() {
+        // Greedy from 0 on a query at 0 costs exactly 2 distances and
+        // self-terminates; a budget of exactly 2 must reproduce that,
+        // including the flag (the completed scan still executes line 4).
+        let ds = line_dataset(10);
+        let g = path_graph(10);
+        let out = query(&g, &ds, 0, &vec![0.0], 2);
+        assert_eq!(out.result, 0);
+        assert_eq!(out.dist_comps, 2);
+        assert!(out.self_terminated);
+    }
+
+    #[test]
+    fn budget_max_is_exactly_greedy() {
+        let ds = line_dataset(40);
+        let g = path_graph(40);
+        let q = vec![33.6];
+        let a = query(&g, &ds, 2, &q, u64::MAX);
+        let b = greedy(&g, &ds, 2, &q);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.result_dist, b.result_dist);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.dist_comps, b.dist_comps);
+        assert_eq!(a.self_terminated, b.self_terminated);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_and_sink_self_terminates() {
+        let ds = line_dataset(30);
+        let g = path_graph(30);
+        for budget in 1..=12u64 {
+            let out = query(&g, &ds, 0, &vec![29.0], budget);
+            assert!(out.dist_comps <= budget.max(1));
+        }
+        // A sink needs only the start evaluation: budget 1 covers the whole
+        // procedure, so this is a genuine self-termination (line 4, nil).
+        let out = query(&Graph::empty(30), &ds, 4, &vec![0.0], 1);
+        assert_eq!(out.dist_comps, 1);
+        assert!(out.self_terminated);
+    }
+
+    #[test]
     fn beam_search_finds_knn_on_path() {
         let ds = line_dataset(40);
         let g = path_graph(40);
@@ -306,6 +382,44 @@ mod tests {
         assert_eq!(res[0].0, 25);
         assert_eq!(res[1].0, 26);
         assert_eq!(res[2].0, 24);
+    }
+
+    #[test]
+    fn beam_results_deterministic_under_distance_ties() {
+        // Vertices 1..=6 all lie at distance 2 from the query; with ef = 3
+        // the heap boundary falls inside the tie group. The Cand ordering
+        // breaks distance ties by id, so the smallest ids must be kept —
+        // and the output must agree with brute force's (dist, id) order.
+        let pts: Vec<Vec<f64>> = vec![
+            vec![0.0],
+            vec![2.0],
+            vec![-2.0],
+            vec![2.0],
+            vec![-2.0],
+            vec![2.0],
+            vec![-2.0],
+        ];
+        let ds = Dataset::new(pts, Euclidean);
+        let g = Graph::complete(7);
+        let q = vec![0.0];
+        let (res, _) = beam_search(&g, &ds, 0, &q, 3, 3);
+        assert_eq!(res, vec![(0, 0.0), (1, 2.0), (2, 2.0)]);
+        // Re-running is bit-identical.
+        let (res2, comps2) = beam_search(&g, &ds, 0, &q, 3, 3);
+        assert_eq!(res, res2);
+        let (_, comps) = beam_search(&g, &ds, 0, &q, 3, 3);
+        assert_eq!(comps, comps2);
+    }
+
+    #[test]
+    fn beam_on_complete_graph_with_full_width_is_exact() {
+        let ds = line_dataset(25);
+        let g = Graph::complete(25);
+        let q = vec![11.3];
+        let (res, _) = beam_search(&g, &ds, 24, &q, 25, 6);
+        let brute = ds.k_nearest_brute(&q, 6);
+        let brute_ids: Vec<(u32, f64)> = brute.into_iter().map(|(i, d)| (i as u32, d)).collect();
+        assert_eq!(res, brute_ids);
     }
 
     #[test]

@@ -16,9 +16,16 @@ pub struct Dataset<P, M> {
 }
 
 impl<P, M: Metric<P>> Dataset<P, M> {
-    /// Creates a dataset. Panics if fewer than one point is supplied (the
-    /// paper assumes `n >= 2`, but single-point sets are allowed here so that
-    /// degenerate cases are testable).
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty. The paper's setup assumes `n >= 2`, but
+    /// this constructor deliberately also accepts a single-point dataset so
+    /// degenerate cases are testable; the operations that genuinely need two
+    /// points ([`Dataset::nearest_excluding`],
+    /// [`Dataset::min_max_interpoint`], [`Dataset::aspect_ratio_exact`])
+    /// assert `n >= 2` themselves.
     pub fn new(points: Vec<P>, metric: M) -> Self {
         assert!(
             !points.is_empty(),
@@ -194,6 +201,33 @@ mod tests {
         let ds = grid_dataset();
         let ids = ds.range_brute(&vec![0.0, 0.0], 1.0);
         assert_eq!(ids, vec![0, 1, 3]); // (0,0), (0,1), (1,0)
+    }
+
+    #[test]
+    fn single_point_dataset_is_allowed_and_usable() {
+        // The documented below-paper-minimum case: n = 1 constructs fine and
+        // every single-point-safe query works on it.
+        let ds = Dataset::new(vec![vec![3.0, 4.0]], Euclidean);
+        assert_eq!(ds.len(), 1);
+        assert!(!ds.is_empty());
+        let (id, d) = ds.nearest_brute(&vec![0.0, 0.0]);
+        assert_eq!(id, 0);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert_eq!(ds.k_nearest_brute(&vec![0.0, 0.0], 3).len(), 1);
+        assert_eq!(ds.range_brute(&vec![3.0, 4.0], 0.5), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_dataset_rejected() {
+        let _ = Dataset::new(Vec::<Vec<f64>>::new(), Euclidean);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two points")]
+    fn two_point_operations_reject_single_point_sets() {
+        let ds = Dataset::new(vec![vec![1.0]], Euclidean);
+        let _ = ds.nearest_excluding(0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! | [`metric`] | `Metric` trait, `L_p` metrics, distance-count instrumentation, aspect-ratio and doubling-dimension tools |
 //! | [`covertree`] | dynamic cover tree (insert / lazy delete / `c`-ANN / range) — the Cole–Gottlieb stand-in of Section 2.4 |
 //! | [`nets`] | `r`-nets and the near-linear hierarchical net ladder (Har-Peled–Mendel stand-in) |
-//! | [`core`] | `G_net` (Thm 1.1), `greedy`/`query` (Sec 1.1), navigability checking (Fact 2.1), θ-graphs (Sec 5.1), the merged Euclidean graph (Thm 1.3) |
+//! | [`core`] | `G_net` (Thm 1.1), `greedy`/`query` (Sec 1.1), navigability checking (Fact 2.1), θ-graphs (Sec 5.1), the merged Euclidean graph (Thm 1.3), the parallel batched `QueryEngine` |
 //! | [`baselines`] | brute force, slow-preprocessing DiskANN, Vamana, HNSW, NSW |
 //! | [`hardness`] | the executable lower-bound instances of Theorem 1.2 (Sections 3–4) with adversarial verifiers |
 //! | [`workloads`] | seeded dataset and query generators |
@@ -41,6 +41,39 @@
 //! assert!(out.result_dist <= 2.0 * exact);
 //! // ...found with far fewer distance computations than a linear scan.
 //! assert!(out.dist_comps < 500);
+//! ```
+//!
+//! ## Parallel batched queries
+//!
+//! A serving system routes many queries at once. The
+//! [`QueryEngine`](core::QueryEngine) owns a built graph plus its dataset
+//! and shards query batches across a thread pool (sized by the `PG_THREADS`
+//! environment variable, a `--threads` flag, or the machine's parallelism) —
+//! with per-query results **identical to the sequential routines** at every
+//! thread count, and distance accounting that stays exact because the
+//! [`Counting`](metric::Counting) wrapper's counter is shared atomically:
+//!
+//! ```
+//! use proximity_graphs::core::{greedy, GNet, QueryEngine};
+//! use proximity_graphs::metric::{Dataset, Euclidean};
+//! use proximity_graphs::workloads;
+//!
+//! let points = workloads::uniform_cube(400, 2, 80.0, 7);
+//! let data = Dataset::new(points, Euclidean);
+//! let pg = GNet::build(&data, 1.0);
+//!
+//! let engine = QueryEngine::new(pg.graph, data).with_threads(2);
+//! let queries = workloads::uniform_queries(32, 2, 0.0, 80.0, 8);
+//! let starts: Vec<u32> = (0..32).map(|i| (i * 13) % 400).collect();
+//!
+//! let batch = engine.batch_greedy(&starts, &queries);
+//! assert_eq!(batch.outcomes.len(), 32);
+//! for (i, out) in batch.outcomes.iter().enumerate() {
+//!     let solo = greedy(engine.graph(), engine.data(), starts[i], &queries[i]);
+//!     assert_eq!(out.result, solo.result);
+//! }
+//! // Budgeted batches (`batch_query`) and beam batches (`batch_beam`) work
+//! // the same way; `batch.dist_comps` aggregates the whole batch's cost.
 //! ```
 
 #![warn(missing_docs)]

@@ -10,7 +10,10 @@ use proximity_graphs::metric::{Chebyshev, Dataset, Euclidean, Manhattan};
 use proximity_graphs::nets::NetHierarchy;
 use proximity_graphs::workloads;
 
-fn assert_all_builders_agree<P: Clone, M: proximity_graphs::metric::Metric<P> + Clone>(
+fn assert_all_builders_agree<
+    P: Clone + Sync,
+    M: proximity_graphs::metric::Metric<P> + Clone + Sync,
+>(
     data: &Dataset<P, M>,
     eps: f64,
     label: &str,
