@@ -254,18 +254,19 @@ mod tests {
     use super::*;
     use pg_core::navigability::{check_navigable, check_pg_exhaustive, Starts};
     use pg_core::search::greedy;
-    use pg_metric::{Dataset, Euclidean};
+    use pg_metric::{Dataset, Euclidean, FlatPoints, FlatRow};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+    // Flat-backed on purpose: the baseline builds and searches are generic
+    // over the point type, and these tests double as coverage that they run
+    // on the contiguous layout the experiments use.
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset<FlatRow, Euclidean> {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::new(
-            (0..n)
-                .map(|_| (0..d).map(|_| rng.random_range(0.0..30.0)).collect())
-                .collect(),
-            Euclidean,
-        )
+        FlatPoints::from_fn(n, d, |_, out| {
+            out.extend((0..d).map(|_| rng.random_range(0.0..30.0)))
+        })
+        .into_dataset(Euclidean)
     }
 
     #[test]
@@ -295,8 +296,8 @@ mod tests {
         let ds = random_dataset(60, 2, 2);
         let g = slow_preprocessing(&ds, 2.0);
         let mut rng = StdRng::seed_from_u64(20);
-        let queries: Vec<Vec<f64>> = (0..15)
-            .map(|_| vec![rng.random_range(-5.0..35.0), rng.random_range(-5.0..35.0)])
+        let queries: Vec<FlatRow> = (0..15)
+            .map(|_| vec![rng.random_range(-5.0..35.0), rng.random_range(-5.0..35.0)].into())
             .collect();
         check_navigable(&g, &ds, &queries, 2.0).unwrap();
         check_pg_exhaustive(&g, &ds, &queries, 2.0, Starts::Stride(7)).unwrap();
@@ -315,8 +316,8 @@ mod tests {
         );
         // α = 3: ratio (α+1)/(α-1) = 2, i.e. ε = 1.
         let mut rng = StdRng::seed_from_u64(21);
-        let queries: Vec<Vec<f64>> = (0..10)
-            .map(|_| vec![rng.random_range(-5.0..35.0), rng.random_range(-5.0..35.0)])
+        let queries: Vec<FlatRow> = (0..10)
+            .map(|_| vec![rng.random_range(-5.0..35.0), rng.random_range(-5.0..35.0)].into())
             .collect();
         check_navigable(&g_big, &ds, &queries, 1.0).unwrap();
     }
@@ -330,7 +331,7 @@ mod tests {
         let mut hits = 0;
         let trials = 50;
         for _ in 0..trials {
-            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let q: FlatRow = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)].into();
             let (exact, _) = ds.nearest_brute(&q);
             let (res, _) = pg_core::beam_search(&g, &ds, 0, &q, 32, 1);
             if res[0].0 as usize == exact {
@@ -346,7 +347,7 @@ mod tests {
         let g = vamana(&ds, VamanaParams::default());
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..20 {
-            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let q: FlatRow = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)].into();
             let (_, dstar) = ds.nearest_brute(&q);
             let out = greedy(&g, &ds, rng.random_range(0..200) as u32, &q);
             assert!(

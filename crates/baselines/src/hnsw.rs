@@ -364,18 +364,19 @@ fn shrink<P: Sync, M: Metric<P> + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pg_metric::{Counting, Euclidean};
+    use pg_metric::{Counting, Euclidean, FlatPoints, FlatRow};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+    // Flat-backed on purpose: the baseline builds and searches are generic
+    // over the point type, and these tests double as coverage that they run
+    // on the contiguous layout the experiments use.
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset<FlatRow, Euclidean> {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::new(
-            (0..n)
-                .map(|_| (0..d).map(|_| rng.random_range(0.0..30.0)).collect())
-                .collect(),
-            Euclidean,
-        )
+        FlatPoints::from_fn(n, d, |_, out| {
+            out.extend((0..d).map(|_| rng.random_range(0.0..30.0)))
+        })
+        .into_dataset(Euclidean)
     }
 
     #[test]
@@ -386,7 +387,7 @@ mod tests {
         let mut hits = 0;
         let trials = 60;
         for _ in 0..trials {
-            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let q: FlatRow = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)].into();
             let (exact, _) = ds.nearest_brute(&q);
             let (res, _) = h.search(&ds, &q, 48, 1);
             if res[0].0 as usize == exact {
@@ -400,7 +401,7 @@ mod tests {
     fn knn_results_are_sorted_and_exactish() {
         let ds = random_dataset(300, 3, 2);
         let h = Hnsw::build(&ds, HnswParams::default());
-        let q = vec![10.0, 10.0, 10.0];
+        let q: FlatRow = vec![10.0, 10.0, 10.0].into();
         let (res, _) = h.search(&ds, &q, 64, 5);
         assert_eq!(res.len(), 5);
         assert!(res.windows(2).all(|w| w[0].1 <= w[1].1));
@@ -419,7 +420,8 @@ mod tests {
         let counted = Dataset::new(ds.points().to_vec(), Counting::new(Euclidean));
         let h = Hnsw::build(&counted, HnswParams::default());
         counted.metric().reset();
-        let (_, reported) = h.search(&counted, &vec![15.0, 15.0], 32, 1);
+        let q: FlatRow = vec![15.0, 15.0].into();
+        let (_, reported) = h.search(&counted, &q, 32, 1);
         let actual = counted.metric().count();
         assert_eq!(reported, actual, "distance accounting must be exact");
         assert!(
@@ -497,7 +499,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let mut hits = 0;
         for _ in 0..30 {
-            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let q: FlatRow = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)].into();
             let (exact, _) = ds.nearest_brute(&q);
             let (res, _) = h.search(&ds, &q, 48, 1);
             if res[0].0 as usize == exact {

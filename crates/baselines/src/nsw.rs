@@ -115,17 +115,17 @@ fn beam<P, M: Metric<P>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pg_metric::Euclidean;
+    use pg_metric::{Euclidean, FlatPoints, FlatRow};
     use rand::RngExt;
 
-    fn random_dataset(n: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+    // Flat-backed on purpose -- see the sibling baselines' test helpers.
+    fn random_dataset(n: usize, seed: u64) -> Dataset<FlatRow, Euclidean> {
         let mut rng = StdRng::seed_from_u64(seed);
-        Dataset::new(
-            (0..n)
-                .map(|_| vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)])
-                .collect(),
-            Euclidean,
-        )
+        FlatPoints::from_fn(n, 2, |_, out| {
+            out.push(rng.random_range(0.0..30.0));
+            out.push(rng.random_range(0.0..30.0));
+        })
+        .into_dataset(Euclidean)
     }
 
     #[test]
@@ -136,7 +136,7 @@ mod tests {
         let mut hits = 0;
         let trials = 40;
         for _ in 0..trials {
-            let q = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)];
+            let q: FlatRow = vec![rng.random_range(0.0..30.0), rng.random_range(0.0..30.0)].into();
             let (exact, _) = ds.nearest_brute(&q);
             let (res, _) = pg_core::beam_search(&g, &ds, 0, &q, 32, 1);
             if res[0].0 as usize == exact {

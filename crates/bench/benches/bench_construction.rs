@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_baselines::{nsw, slow_preprocessing, vamana, Hnsw, HnswParams, NswParams, VamanaParams};
 use pg_core::GNet;
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 use std::hint::black_box;
 use std::time::Duration;
@@ -16,8 +16,8 @@ fn construction(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4));
 
     for n in [1000usize, 4000] {
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 3);
-        let data = Dataset::new(pts, Euclidean);
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 3).into_dataset(Euclidean);
 
         group.bench_with_input(BenchmarkId::new("gnet_fast", n), &n, |b, _| {
             b.iter(|| black_box(GNet::build_fast(&data, 1.0)))

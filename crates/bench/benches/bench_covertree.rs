@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_covertree::CoverTree;
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 use std::hint::black_box;
 use std::time::Duration;
@@ -16,15 +16,16 @@ fn covertree(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     for n in [1000usize, 8000] {
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 5);
-        let data = Dataset::new(pts, Euclidean);
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 5).into_dataset(Euclidean);
 
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
             b.iter(|| black_box(CoverTree::build_all(&data)))
         });
 
         let tree = CoverTree::build_all(&data);
-        let queries = workloads::uniform_queries(64, 2, 0.0, (n as f64).sqrt() * 4.0, 6);
+        let queries =
+            workloads::uniform_queries_flat(64, 2, 0.0, (n as f64).sqrt() * 4.0, 6).into_rows();
 
         group.bench_with_input(BenchmarkId::new("nearest_exact", n), &n, |b, _| {
             let mut i = 0usize;
@@ -54,8 +55,7 @@ fn covertree(c: &mut Criterion) {
 
     // The Section 2.4 retrieval pattern: 2-ANN, delete, ..., restore.
     let n = 4000usize;
-    let pts = workloads::uniform_cube(n, 2, 260.0, 7);
-    let data = Dataset::new(pts, Euclidean);
+    let data = workloads::uniform_cube_flat(n, 2, 260.0, 7).into_dataset(Euclidean);
     let mut tree = CoverTree::build_all(&data);
     group.bench_function("sec24_retrieval_cycle", |b| {
         let mut i = 0usize;

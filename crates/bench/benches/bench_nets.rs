@@ -2,7 +2,7 @@
 //! builder (Har-Peled–Mendel substitute) vs the quadratic greedy reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_nets::{greedy_net, independent_hierarchy, NetHierarchy};
 use pg_workloads as workloads;
 use std::hint::black_box;
@@ -15,8 +15,8 @@ fn nets(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     for n in [1000usize, 8000] {
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 11);
-        let data = Dataset::new(pts, Euclidean);
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 11).into_dataset(Euclidean);
 
         group.bench_with_input(BenchmarkId::new("hierarchy_fast", n), &n, |b, _| {
             b.iter(|| black_box(NetHierarchy::build(&data)))

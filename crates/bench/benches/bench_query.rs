@@ -4,16 +4,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_baselines::{Hnsw, HnswParams};
 use pg_core::{beam_search, greedy, GNet, MergedGraph, MergedParams, QueryEngine};
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 use std::hint::black_box;
 use std::time::Duration;
 
 fn query(c: &mut Criterion) {
     let n = 8000usize;
-    let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 9);
-    let data = Dataset::new(pts, Euclidean);
-    let queries = workloads::uniform_queries(64, 2, 0.0, (n as f64).sqrt() * 4.0, 10);
+    let data =
+        workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 9).into_dataset(Euclidean);
+    let queries =
+        workloads::uniform_queries_flat(64, 2, 0.0, (n as f64).sqrt() * 4.0, 10).into_rows();
 
     let gnet = GNet::build_fast(&data, 1.0);
     let merged = MergedGraph::build(&data, MergedParams::new(1.0));

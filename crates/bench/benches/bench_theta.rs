@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pg_core::ThetaGraph;
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 use std::hint::black_box;
 use std::time::Duration;
@@ -16,8 +16,7 @@ fn theta(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     for n in [1000usize, 8000] {
-        let pts = workloads::uniform_cube(n, 2, 100.0, 13);
-        let data = Dataset::new(pts, Euclidean);
+        let data = workloads::uniform_cube_flat(n, 2, 100.0, 13).into_dataset(Euclidean);
         group.bench_with_input(BenchmarkId::new("sweep_2d_theta_0.25", n), &n, |b, _| {
             b.iter(|| black_box(ThetaGraph::build(&data, 0.25)))
         });
@@ -28,8 +27,7 @@ fn theta(c: &mut Criterion) {
         }
     }
 
-    let pts = workloads::uniform_cube(2000, 3, 100.0, 14);
-    let data3 = Dataset::new(pts, Euclidean);
+    let data3 = workloads::uniform_cube_flat(2000, 3, 100.0, 14).into_dataset(Euclidean);
     group.bench_function("pairwise_3d_theta_0.5_n2000", |b| {
         b.iter(|| black_box(ThetaGraph::build(&data3, 0.5)))
     });

@@ -15,7 +15,7 @@
 
 use pg_bench::{fmt, full_mode, measure_greedy, Table};
 use pg_core::{check_navigable, gnet_edges_with_phi, GNetParams};
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::{Euclidean, FlatPoints};
 use pg_nets::NetHierarchy;
 use pg_workloads as workloads;
 
@@ -26,22 +26,25 @@ fn main() {
     println!("paper constant at ε = {eps}: φ = {paper_phi}\n");
 
     let n = if full_mode() { 1000 } else { 400 };
-    let datasets: Vec<(&str, Vec<Vec<f64>>)> = vec![
-        ("uniform", workloads::uniform_cube(n, 2, 120.0, 61)),
+    let datasets: Vec<(&str, FlatPoints)> = vec![
+        ("uniform", workloads::uniform_cube_flat(n, 2, 120.0, 61)),
         (
             "clusters",
-            workloads::gaussian_clusters(n, 2, 10, 1.5, 120.0, 62),
+            workloads::gaussian_clusters_flat(n, 2, 10, 1.5, 120.0, 62),
         ),
-        ("chain", workloads::geometric_chain(10, n / 10, 4.0, 2, 63)),
+        (
+            "chain",
+            workloads::geometric_chain_flat(10, n / 10, 4.0, 2, 63),
+        ),
     ];
 
     for (name, points) in datasets {
         let queries = {
-            let mut qs = workloads::perturbed_queries(&points, 25, 0.8, 64);
-            qs.extend(workloads::uniform_queries(15, 2, -20.0, 150.0, 65));
+            let mut qs = workloads::perturbed_queries_flat(&points, 25, 0.8, 64).into_rows();
+            qs.extend(workloads::uniform_queries_flat(15, 2, -20.0, 150.0, 65).into_rows());
             qs
         };
-        let data = Dataset::new(points, Euclidean);
+        let data = points.into_dataset(Euclidean);
         let hierarchy = NetHierarchy::build(&data);
 
         println!(

@@ -15,7 +15,7 @@ use std::time::Instant;
 use pg_baselines::{nsw, slow_preprocessing, vamana, Hnsw, HnswParams, NswParams, VamanaParams};
 use pg_bench::{fmt, full_mode, init_threads, Table};
 use pg_core::{GNet, Graph, MergedGraph, MergedParams, QueryEngine};
-use pg_metric::{Counting, Dataset, Euclidean};
+use pg_metric::{Counting, Euclidean};
 use pg_workloads as workloads;
 
 fn main() {
@@ -23,10 +23,10 @@ fn main() {
     let n = if full_mode() { 4000 } else { 1200 };
     println!("# CMP: all indexes on the standard suite (n = {n}, {threads} thread(s))\n");
 
-    for (wname, points) in workloads::standard_suite(n, 99) {
-        let dim = points[0].len();
-        let data = Dataset::new(points, Counting::new(Euclidean));
-        let queries = workloads::perturbed_queries(data.points(), 80, 0.5, 17);
+    for (wname, points) in workloads::standard_suite_flat(n, 99) {
+        let dim = points.dim();
+        let queries = workloads::perturbed_queries_flat(&points, 80, 0.5, 17).into_rows();
+        let data = points.into_dataset(Counting::new(Euclidean));
         let truth: Vec<usize> = queries.iter().map(|q| data.nearest_brute(q).0).collect();
         let greedy_starts: Vec<u32> = (0..queries.len()).map(|i| ((i * 131) % n) as u32).collect();
         let beam_starts: Vec<u32> = vec![0; queries.len()];

@@ -17,7 +17,7 @@ use std::time::Instant;
 use pg_baselines::slow_preprocessing;
 use pg_bench::{fmt, full_mode, init_threads, loglog_slope, Table};
 use pg_core::GNet;
-use pg_metric::{Counting, Dataset, Euclidean};
+use pg_metric::{Counting, Euclidean};
 use pg_workloads as workloads;
 
 fn main() {
@@ -50,8 +50,8 @@ fn main() {
     let mut slow_x: Vec<f64> = Vec::new();
 
     for &n in &ns {
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 7);
-        let data = Dataset::new(pts, Counting::new(Euclidean));
+        let data = workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 7)
+            .into_dataset(Counting::new(Euclidean));
 
         data.metric().reset();
         let t0 = Instant::now();

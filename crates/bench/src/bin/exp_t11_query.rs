@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use pg_bench::{fmt, full_mode, init_threads, measure_greedy_batch, spread_start, Table};
 use pg_core::{GNet, QueryEngine};
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 
 fn main() {
@@ -40,12 +40,13 @@ fn main() {
     ]);
     for &n in &ns {
         // Constant density so log Δ grows gently with n.
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 21);
-        let data = Dataset::new(pts, Euclidean);
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 21).into_dataset(Euclidean);
         let g = GNet::build_fast(&data, 1.0);
         let log_aspect = g.hierarchy.log_aspect();
         let h = g.hierarchy.h();
-        let queries = workloads::uniform_queries(60, 2, 0.0, (n as f64).sqrt() * 4.0, 22);
+        let queries =
+            workloads::uniform_queries_flat(60, 2, 0.0, (n as f64).sqrt() * 4.0, 22).into_rows();
         let engine = QueryEngine::new(g.graph, data);
         let (dists, hops, worst) = measure_greedy_batch(&engine, &queries);
         t.row(vec![
@@ -64,9 +65,8 @@ fn main() {
 
     // ---- Query cost vs epsilon ----------------------------------------------
     let n = if full_mode() { 4000 } else { 2000 };
-    let pts = workloads::uniform_cube(n, 2, 260.0, 23);
-    let data = Dataset::new(pts, Euclidean);
-    let queries = workloads::uniform_queries(40, 2, -20.0, 280.0, 24);
+    let data = workloads::uniform_cube_flat(n, 2, 260.0, 23).into_dataset(Euclidean);
+    let queries = workloads::uniform_queries_flat(40, 2, -20.0, 280.0, 24).into_rows();
     let mut t = Table::new(&[
         "ε",
         "φ",
@@ -96,10 +96,11 @@ fn main() {
     // ---- Batched throughput vs thread count ---------------------------------
     let n = if full_mode() { 16000 } else { 8000 };
     let m = if full_mode() { 4096 } else { 1024 };
-    let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 25);
-    let data = Dataset::new(pts, Euclidean);
+    let data =
+        workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 25).into_dataset(Euclidean);
     let g = GNet::build_fast(&data, 1.0);
-    let queries = workloads::uniform_queries(m, 2, 0.0, (n as f64).sqrt() * 4.0, 26);
+    let queries =
+        workloads::uniform_queries_flat(m, 2, 0.0, (n as f64).sqrt() * 4.0, 26).into_rows();
     let starts: Vec<u32> = (0..m).map(|i| spread_start(i, n)).collect();
     let engine = QueryEngine::new(g.graph, data);
 

@@ -10,7 +10,7 @@
 
 use pg_bench::{fmt, full_mode, loglog_slope, Table};
 use pg_core::GNet;
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 
 fn main() {
@@ -26,8 +26,8 @@ fn main() {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n in &ns {
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 42);
-        let data = Dataset::new(pts, Euclidean);
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 42).into_dataset(Euclidean);
         let g = GNet::build_fast(&data, 1.0);
         let log_delta = g.hierarchy.log_aspect() as f64;
         let e = g.graph.edge_count() as f64;
@@ -49,8 +49,7 @@ fn main() {
 
     // ---- Table 2: epsilon sweep -------------------------------------------
     let n = if full_mode() { 4000 } else { 1500 };
-    let pts = workloads::uniform_cube(n, 2, 200.0, 43);
-    let data = Dataset::new(pts, Euclidean);
+    let data = workloads::uniform_cube_flat(n, 2, 200.0, 43).into_dataset(Euclidean);
     let mut t = Table::new(&["ε", "η", "φ", "edges", "edges/n", "edges/(n·φ²·logΔ)"]);
     for eps in [1.0, 0.5, 0.25, 0.125] {
         let g = GNet::build_fast(&data, eps);
@@ -71,8 +70,7 @@ fn main() {
     println!("\n(last column is scaled x1000; flat ⇒ the (1/ε)^λ = φ^λ dependence is real)\n");
 
     // ---- Table 3: per-level degree vs packing ceiling ----------------------
-    let pts = workloads::uniform_cube(2000, 2, 180.0, 44);
-    let data = Dataset::new(pts, Euclidean);
+    let data = workloads::uniform_cube_flat(2000, 2, 180.0, 44).into_dataset(Euclidean);
     let g = GNet::build_fast(&data, 1.0);
     let phi = g.params.phi;
     let n2 = data.len();

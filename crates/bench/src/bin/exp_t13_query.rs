@@ -7,7 +7,7 @@
 
 use pg_bench::{fmt, full_mode, measure_greedy, Table};
 use pg_core::{greedy, MergedGraph, MergedParams};
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 
 fn main() {
@@ -30,10 +30,11 @@ fn main() {
         "⌈ln n·logΔ⌉ bound",
     ]);
     for &n in &ns {
-        let pts = workloads::uniform_cube(n, 2, (n as f64).sqrt() * 4.0, 31);
-        let data = Dataset::new(pts, Euclidean);
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 31).into_dataset(Euclidean);
         let merged = MergedGraph::build(&data, MergedParams::new(1.0));
-        let queries = workloads::uniform_queries(50, 2, 0.0, (n as f64).sqrt() * 4.0, 32);
+        let queries =
+            workloads::uniform_queries_flat(50, 2, 0.0, (n as f64).sqrt() * 4.0, 32).into_rows();
         let (dists, hops, worst) = measure_greedy(&merged.graph, &data, &queries);
 
         // Section 5.2 structure: the longest run of consecutive non-jackpot

@@ -19,14 +19,17 @@
 use pg_bench::{fmt, full_mode, linear_slope, Table};
 use pg_core::{GNet, MergedGraph, MergedParams};
 use pg_hardness::TreeInstance;
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::{Euclidean, FlatPoints};
 
 /// Euclidean instance with exactly `n` points, `d_min = 1`,
 /// `diam = spread`: a unit-spaced line of `n - 1` points plus one satellite.
-fn line_plus_satellite(n: usize, spread: f64) -> Vec<Vec<f64>> {
+fn line_plus_satellite(n: usize, spread: f64) -> FlatPoints {
     assert!(spread > 2.0 * n as f64, "satellite must clear the line");
-    let mut pts: Vec<Vec<f64>> = (0..n - 1).map(|i| vec![i as f64, 0.0]).collect();
-    pts.push(vec![spread, 0.0]);
+    let mut pts = FlatPoints::with_capacity(n, 2);
+    for i in 0..n - 1 {
+        pts.push(&[i as f64, 0.0]);
+    }
+    pts.push(&[spread, 0.0]);
     pts
 }
 
@@ -78,8 +81,7 @@ fn main() {
     let mut b_merged = Vec::new();
     for &j in &js {
         let spread = (2.0f64).powi(j);
-        let pts = line_plus_satellite(n, spread);
-        let data = Dataset::new(pts, Euclidean);
+        let data = line_plus_satellite(n, spread).into_dataset(Euclidean);
         // Section 5.3 amplification: smallest of ~log n sampling runs.
         let merged = MergedGraph::build_best_of(&data, MergedParams::new(1.0), 10);
         let gnet = GNet::build_fast(&data, 1.0);

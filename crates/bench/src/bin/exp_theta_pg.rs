@@ -12,7 +12,7 @@
 
 use pg_bench::{fmt, full_mode, Table};
 use pg_core::{check_navigable, ConeSet, ThetaGraph};
-use pg_metric::{Dataset, Euclidean};
+use pg_metric::Euclidean;
 use pg_workloads as workloads;
 
 fn main() {
@@ -45,9 +45,8 @@ fn main() {
 
     // ---- Lemma 5.1: navigability vs θ ---------------------------------------
     let n = if full_mode() { 600 } else { 250 };
-    let pts = workloads::uniform_cube(n, 2, 50.0, 13);
-    let data = Dataset::new(pts, Euclidean);
-    let queries = workloads::uniform_queries(40, 2, -5.0, 55.0, 14);
+    let data = workloads::uniform_cube_flat(n, 2, 50.0, 13).into_dataset(Euclidean);
+    let queries = workloads::uniform_queries_flat(40, 2, -5.0, 55.0, 14).into_rows();
     let eps = 1.0;
 
     let mut t = Table::new(&["θ", "θ vs ε/32", "cones", "edges/p", "(1+ε)-navigable?"]);

@@ -19,17 +19,24 @@
 //!
 //! # Example
 //!
+//! Serving datasets should use the contiguous [`FlatPoints`] layout — the
+//! engine (like every search routine) is generic over the point type, so a
+//! flat-backed dataset drops in via [`FlatRow`] handles:
+//!
 //! ```
 //! use pg_core::engine::QueryEngine;
 //! use pg_core::GNet;
-//! use pg_metric::{Dataset, Euclidean};
+//! use pg_metric::{Euclidean, FlatPoints, FlatRow};
 //!
-//! let points: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 5) as f64]).collect();
-//! let data = Dataset::new(points, Euclidean);
+//! let mut points = FlatPoints::new(2);
+//! for i in 0..60 {
+//!     points.push(&[i as f64, (i % 5) as f64]);
+//! }
+//! let data = points.into_dataset(Euclidean);
 //! let pg = GNet::build(&data, 1.0);
 //!
 //! let engine = QueryEngine::new(pg.graph, data).with_threads(2);
-//! let queries: Vec<Vec<f64>> = vec![vec![7.2, 1.0], vec![41.9, 3.3]];
+//! let queries: Vec<FlatRow> = vec![vec![7.2, 1.0].into(), vec![41.9, 3.3].into()];
 //! let starts = vec![0, 30];
 //! let batch = engine.batch_greedy(&starts, &queries);
 //! assert_eq!(batch.outcomes.len(), 2);
@@ -38,6 +45,9 @@
 //! assert_eq!(batch.outcomes[0].result, solo.result);
 //! assert_eq!(batch.dist_comps, batch.outcomes.iter().map(|o| o.dist_comps).sum::<u64>());
 //! ```
+//!
+//! [`FlatPoints`]: pg_metric::FlatPoints
+//! [`FlatRow`]: pg_metric::FlatRow
 
 use pg_metric::{Dataset, Metric};
 

@@ -94,8 +94,8 @@ pub struct MergedGraph {
 
 impl MergedGraph {
     /// Builds `G_net` and the θ-graph, then merges (one sampling run).
-    pub fn build<M: Metric<Vec<f64>> + Sync>(
-        data: &Dataset<Vec<f64>, M>,
+    pub fn build<P: AsRef<[f64]> + Sync, M: Metric<P> + Sync>(
+        data: &Dataset<P, M>,
         params: MergedParams,
     ) -> Self {
         let gnet = GNet::build_fast(data, params.epsilon);
@@ -109,8 +109,8 @@ impl MergedGraph {
     /// Section 5.3 amplification: performs `runs` independent jackpot
     /// samplings (reusing the same `G_net` and θ-graph) and returns the
     /// merged graph with the fewest edges. The paper uses `z' log n` runs.
-    pub fn build_best_of<M: Metric<Vec<f64>> + Sync>(
-        data: &Dataset<Vec<f64>, M>,
+    pub fn build_best_of<P: AsRef<[f64]> + Sync, M: Metric<P> + Sync>(
+        data: &Dataset<P, M>,
         params: MergedParams,
         runs: usize,
     ) -> Self {

@@ -13,7 +13,9 @@ pub struct GreedyOutcome {
     /// Distance from `result` to the query.
     pub result_dist: f64,
     /// The full sequence of hop vertices visited, starting at `p_start`.
-    /// Their distances to the query are strictly descending.
+    /// Their distances to the query are strictly descending (the walk
+    /// compares in the metric's monotone surrogate space — squared distance
+    /// under `L_2` — where the descent is strict by construction).
     pub hops: Vec<u32>,
     /// Number of distance computations performed.
     pub dist_comps: u64,
@@ -61,6 +63,18 @@ pub fn greedy<P, M: Metric<P>>(
 ///   `self_terminated = true` flag.
 /// * The initial `D(p_start, q)` evaluation always happens (the result
 ///   distance must be known), so the effective budget is at least 1.
+///
+/// All comparisons run in the metric's monotone surrogate space
+/// ([`Metric::surrogate`] — squared distance under `L_2`, so the per-hop
+/// `sqrt`s disappear); the single reported `result_dist` is mapped back to
+/// the true distance at the end. Each surrogate evaluation counts as one
+/// distance computation, so the accounting is identical to evaluating `D`
+/// directly. Surrogate order refines distance order (equal surrogates map
+/// to equal distances; distinct surrogates can round to equal distances),
+/// so the walk — hops, result, termination flag — matches the
+/// direct-distance walk except where rounded distances tie while the
+/// pre-rounding comparison does not, in which case the surrogate decision
+/// is the more accurate one.
 pub fn query<P, M: Metric<P>>(
     graph: &Graph,
     data: &Dataset<P, M>,
@@ -74,7 +88,7 @@ pub fn query<P, M: Metric<P>>(
     let mut hops = vec![cur];
 
     comps += 1;
-    let mut d_cur = data.dist_to(cur as usize, q);
+    let mut s_cur = data.surrogate_to(cur as usize, q);
 
     loop {
         // Line 3: the out-neighbor of cur closest to q.
@@ -86,9 +100,9 @@ pub fn query<P, M: Metric<P>>(
                 break;
             }
             comps += 1;
-            let d = data.dist_to(nb as usize, q);
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((nb, d));
+            let s = data.surrogate_to(nb as usize, q);
+            if best.is_none_or(|(_, bs)| s < bs) {
+                best = Some((nb, s));
             }
         }
         if truncated {
@@ -97,7 +111,7 @@ pub fn query<P, M: Metric<P>>(
             // as-is (see the budget semantics above).
             return GreedyOutcome {
                 result: cur,
-                result_dist: d_cur,
+                result_dist: data.dist_from_surrogate(s_cur),
                 hops,
                 dist_comps: comps,
                 self_terminated: false,
@@ -108,25 +122,25 @@ pub fn query<P, M: Metric<P>>(
             None => {
                 return GreedyOutcome {
                     result: cur,
-                    result_dist: d_cur,
+                    result_dist: data.dist_from_surrogate(s_cur),
                     hops,
                     dist_comps: comps,
                     self_terminated: true,
                 };
             }
-            Some((_, d)) if d_cur <= d => {
+            Some((_, s)) if s_cur <= s => {
                 return GreedyOutcome {
                     result: cur,
-                    result_dist: d_cur,
+                    result_dist: data.dist_from_surrogate(s_cur),
                     hops,
                     dist_comps: comps,
                     self_terminated: true,
                 };
             }
-            Some((nb, d)) => {
+            Some((nb, s)) => {
                 // Line 5.
                 cur = nb;
-                d_cur = d;
+                s_cur = s;
                 hops.push(cur);
             }
         }
@@ -140,6 +154,10 @@ pub fn query<P, M: Metric<P>>(
 ///
 /// Returns up to `k` results ascending by distance and the number of
 /// distance computations.
+///
+/// Heap ordering and the frontier cutoff run in surrogate space (squared
+/// distance under `L_2`; ties still break by id, identically in both
+/// spaces); only the `k` reported distances are mapped back.
 pub fn beam_search<P, M: Metric<P>>(
     graph: &Graph,
     data: &Dataset<P, M>,
@@ -170,7 +188,7 @@ pub fn beam_search<P, M: Metric<P>>(
     let mut visited = vec![false; data.len()];
     visited[p_start as usize] = true;
     comps += 1;
-    let d0 = data.dist_to(p_start as usize, q);
+    let d0 = data.surrogate_to(p_start as usize, q);
 
     // `frontier`: min-heap of candidates to expand; `results`: max-heap of
     // the best `ef` seen. `worst` mirrors `results.peek()` and is refreshed
@@ -191,7 +209,7 @@ pub fn beam_search<P, M: Metric<P>>(
             }
             visited[nb as usize] = true;
             comps += 1;
-            let dn = data.dist_to(nb as usize, q);
+            let dn = data.surrogate_to(nb as usize, q);
             if results.len() < ef || dn < worst {
                 frontier.push(Reverse(Cand(dn, nb)));
                 results.push(Cand(dn, nb));
@@ -206,6 +224,9 @@ pub fn beam_search<P, M: Metric<P>>(
     let mut out: Vec<(u32, f64)> = results.into_iter().map(|Cand(d, v)| (v, d)).collect();
     out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
+    for e in &mut out {
+        e.1 = data.dist_from_surrogate(e.1);
+    }
     (out, comps)
 }
 

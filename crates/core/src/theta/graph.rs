@@ -42,8 +42,8 @@ impl ThetaGraph {
     /// Builds a θ-graph with the fastest construction available for the
     /// dimension (trivial for `d = 1`, sweep for `d = 2`, pairwise scan for
     /// `d >= 3`).
-    pub fn build<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, theta: f64) -> Self {
-        let d = data.point(0).len();
+    pub fn build<P: AsRef<[f64]>, M: Metric<P>>(data: &Dataset<P, M>, theta: f64) -> Self {
+        let d = data.point(0).as_ref().len();
         let cones = ConeSet::covering(d, theta);
         let graph = match d {
             1 => build_1d(data),
@@ -59,8 +59,8 @@ impl ThetaGraph {
 
     /// Ground-truth construction: one `O(n^2 d)` pass over ordered pairs.
     /// Used by tests to validate the fast paths (identical edge sets).
-    pub fn build_naive<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, theta: f64) -> Self {
-        let d = data.point(0).len();
+    pub fn build_naive<P: AsRef<[f64]>, M: Metric<P>>(data: &Dataset<P, M>, theta: f64) -> Self {
+        let d = data.point(0).as_ref().len();
         let cones = ConeSet::covering(d, theta);
         ThetaGraph {
             graph: build_pairwise(data, &cones),
@@ -71,7 +71,7 @@ impl ThetaGraph {
 
     /// The graph prescribed by Lemma 5.1 for a `(1+ε)`-PG: an
     /// `(ε/32)`-graph.
-    pub fn build_for_pg<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, epsilon: f64) -> Self {
+    pub fn build_for_pg<P: AsRef<[f64]>, M: Metric<P>>(data: &Dataset<P, M>, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon <= 1.0);
         Self::build(data, epsilon / 32.0)
     }
@@ -86,9 +86,9 @@ fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
 
 /// Generic construction: stream all ordered pairs, snap each difference
 /// vector to its cone, track the per-cone projection argmin.
-fn build_pairwise<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, cones: &ConeSet) -> Graph {
+fn build_pairwise<P: AsRef<[f64]>, M: Metric<P>>(data: &Dataset<P, M>, cones: &ConeSet) -> Graph {
     let n = data.len();
-    let d = data.point(0).len();
+    let d = data.point(0).as_ref().len();
     let mut builder = GraphBuilder::new(n);
     let mut v = vec![0.0; d];
     // (projection, target) per cone for the current source point.
@@ -96,12 +96,12 @@ fn build_pairwise<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, cones: &Cone
     for p in 0..n {
         best.clear();
         best.resize(cones.count(), (f64::INFINITY, u32::MAX));
-        let pp = data.point(p);
+        let pp = data.point(p).as_ref();
         for q in 0..n {
             if q == p {
                 continue;
             }
-            sub(data.point(q), pp, &mut v);
+            sub(data.point(q).as_ref(), pp, &mut v);
             let Some(c) = cones.cone_of(&v) else { continue };
             let proj = cones.projection(c, &v);
             let cand = (proj, q as u32);
@@ -120,12 +120,12 @@ fn build_pairwise<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, cones: &Cone
 
 /// `d = 1`: each point's two cones yield edges to its immediate left and
 /// right neighbors on the line.
-fn build_1d<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>) -> Graph {
+fn build_1d<P: AsRef<[f64]>, M: Metric<P>>(data: &Dataset<P, M>) -> Graph {
     let n = data.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        data.point(a as usize)[0]
-            .total_cmp(&data.point(b as usize)[0])
+        data.point(a as usize).as_ref()[0]
+            .total_cmp(&data.point(b as usize).as_ref()[0])
             .then(a.cmp(&b))
     });
     let mut builder = GraphBuilder::new(n);
@@ -175,7 +175,7 @@ impl SuffixMinFenwick {
 }
 
 /// `d = 2` dominance sweep (see module docs).
-fn build_sweep_2d<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, cones: &ConeSet) -> Graph {
+fn build_sweep_2d<P: AsRef<[f64]>, M: Metric<P>>(data: &Dataset<P, M>, cones: &ConeSet) -> Graph {
     let n = data.len();
     let k = cones.count();
     let w = 2.0 * std::f64::consts::PI / k as f64;
@@ -191,7 +191,7 @@ fn build_sweep_2d<M: Metric<Vec<f64>>>(data: &Dataset<Vec<f64>, M>, cones: &Cone
         // (X + Y) / (2 sin(w/2)).
         let xy: Vec<(f64, f64)> = (0..n)
             .map(|i| {
-                let p = data.point(i);
+                let p = data.point(i).as_ref();
                 let x = r_lo[0] * p[1] - r_lo[1] * p[0]; // cross(r_lo, p)
                 let y = -(r_hi[0] * p[1] - r_hi[1] * p[0]); // -cross(r_hi, p)
                 (x, y)

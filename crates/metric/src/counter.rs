@@ -90,6 +90,22 @@ impl<P: ?Sized, M: Metric<P>> Metric<P> for Counting<M> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.dist(a, b)
     }
+
+    /// Counts exactly like [`Counting::dist`]: a surrogate evaluation does
+    /// the same coordinate work, so it is one distance computation in the
+    /// paper's cost model. Comparison-only code paths therefore keep their
+    /// `dist_comps` accounting unchanged when they switch to surrogates.
+    #[inline]
+    fn surrogate(&self, a: &P, b: &P) -> f64 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.surrogate(a, b)
+    }
+
+    /// Pure float transform — **not** counted.
+    #[inline]
+    fn dist_from_surrogate(&self, s: f64) -> f64 {
+        self.inner.dist_from_surrogate(s)
+    }
 }
 
 #[cfg(test)]

@@ -72,24 +72,64 @@ impl<P, M: Metric<P>> Dataset<P, M> {
         self.metric.dist(&self.points[i], q)
     }
 
+    /// Monotone comparison surrogate between data points `i` and `j` — see
+    /// [`Metric::surrogate`]. Counts as one distance computation.
+    #[inline]
+    pub fn dist_surrogate(&self, i: usize, j: usize) -> f64 {
+        self.metric.surrogate(&self.points[i], &self.points[j])
+    }
+
+    /// Monotone comparison surrogate from data point `i` to query `q` — the
+    /// hot-path primitive of the search routines (squared distance under
+    /// [`Euclidean`](crate::Euclidean), so no `sqrt` per comparison).
+    #[inline]
+    pub fn surrogate_to(&self, i: usize, q: &P) -> f64 {
+        self.metric.surrogate(&self.points[i], q)
+    }
+
+    /// Maps a surrogate value back to the true distance (pure float
+    /// transform, not counted); see [`Metric::dist_from_surrogate`].
+    #[inline]
+    pub fn dist_from_surrogate(&self, s: f64) -> f64 {
+        self.metric.dist_from_surrogate(s)
+    }
+
     /// Exact nearest neighbor of `q` by brute force: returns `(id, dist)`.
+    /// Scans in surrogate space (no `sqrt` per candidate under `L_2`).
     pub fn nearest_brute(&self, q: &P) -> (usize, f64) {
         let mut best = (0usize, f64::INFINITY);
         for i in 0..self.len() {
-            let d = self.dist_to(i, q);
-            if d < best.1 {
-                best = (i, d);
+            let s = self.surrogate_to(i, q);
+            if s < best.1 {
+                best = (i, s);
             }
         }
-        best
+        (best.0, self.dist_from_surrogate(best.1))
     }
 
     /// Exact `k` nearest neighbors of `q` by brute force, ascending by
     /// distance (ties broken by id).
+    ///
+    /// Partition-based: `select_nth_unstable_by` isolates the top `k` in
+    /// `O(n)`, then only those `k` are sorted — `O(n + k log k)` instead of
+    /// the full `O(n log n)` sort. Comparisons run in surrogate space.
     pub fn k_nearest_brute(&self, q: &P, k: usize) -> Vec<(usize, f64)> {
-        let mut all: Vec<(usize, f64)> = (0..self.len()).map(|i| (i, self.dist_to(i, q))).collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
-        all.truncate(k);
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut all: Vec<(usize, f64)> = (0..self.len())
+            .map(|i| (i, self.surrogate_to(i, q)))
+            .collect();
+        let by_dist_then_id =
+            |a: &(usize, f64), b: &(usize, f64)| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0));
+        if k < all.len() {
+            all.select_nth_unstable_by(k - 1, by_dist_then_id);
+            all.truncate(k);
+        }
+        all.sort_by(by_dist_then_id);
+        for e in &mut all {
+            e.1 = self.dist_from_surrogate(e.1);
+        }
         all
     }
 
@@ -117,35 +157,59 @@ impl<P, M: Metric<P>> Dataset<P, M> {
             .collect()
     }
 
-    /// Exact minimum and maximum inter-point distances `(d_min, d_max)` by
-    /// the full `O(n^2)` scan. `d_max` is the diameter `diam(P)`.
-    pub fn min_max_interpoint(&self) -> (f64, f64) {
-        assert!(self.len() >= 2, "need at least two points");
-        let mut dmin = f64::INFINITY;
-        let mut dmax: f64 = 0.0;
-        for i in 0..self.len() {
-            for j in (i + 1)..self.len() {
-                let d = self.dist(i, j);
-                dmin = dmin.min(d);
-                dmax = dmax.max(d);
-            }
-        }
-        (dmin, dmax)
-    }
-
-    /// Exact aspect ratio `Δ = diam(P) / d_min` by the full `O(n^2)` scan.
-    pub fn aspect_ratio_exact(&self) -> f64 {
-        let (dmin, dmax) = self.min_max_interpoint();
-        assert!(dmin > 0.0, "duplicate points have zero minimum distance");
-        dmax / dmin
-    }
-
     /// Maps point ids through `f`, keeping the metric.
     pub fn map_metric<M2: Metric<P>>(self, m2: M2) -> Dataset<P, M2> {
         Dataset {
             points: self.points,
             metric: m2,
         }
+    }
+}
+
+impl<P: Sync, M: Metric<P> + Sync> Dataset<P, M> {
+    /// Exact minimum and maximum inter-point distances `(d_min, d_max)` by
+    /// the full `O(n^2)` scan, sharded across the thread pool (one row of
+    /// the upper triangle per work item). `d_max` is the diameter `diam(P)`.
+    ///
+    /// `min`/`max` over finite `f64` are exact (no rounding), so the
+    /// reduction is order-independent: the result is **bit-identical for
+    /// every thread count**, asserted by tests like the parallel graph
+    /// builds.
+    ///
+    /// The scan reduces in surrogate space and maps only the two final
+    /// scalars back — a monotone non-decreasing map commutes with `min`/
+    /// `max`, so this equals reducing true distances bit for bit while
+    /// skipping the per-pair `sqrt` under `L_2`.
+    pub fn min_max_interpoint(&self) -> (f64, f64) {
+        assert!(self.len() >= 2, "need at least two points");
+        let n = self.len();
+        let per_row = rayon::par_map_range(n - 1, |i| {
+            let mut smin = f64::INFINITY;
+            let mut smax: f64 = 0.0;
+            for j in (i + 1)..n {
+                let s = self.dist_surrogate(i, j);
+                smin = smin.min(s);
+                smax = smax.max(s);
+            }
+            (smin, smax)
+        });
+        let (smin, smax) = per_row
+            .into_iter()
+            .fold((f64::INFINITY, 0.0_f64), |(lo, hi), (smin, smax)| {
+                (lo.min(smin), hi.max(smax))
+            });
+        (
+            self.dist_from_surrogate(smin),
+            self.dist_from_surrogate(smax),
+        )
+    }
+
+    /// Exact aspect ratio `Δ = diam(P) / d_min` by the full `O(n^2)` scan
+    /// (parallel, see [`Dataset::min_max_interpoint`]).
+    pub fn aspect_ratio_exact(&self) -> f64 {
+        let (dmin, dmax) = self.min_max_interpoint();
+        assert!(dmin > 0.0, "duplicate points have zero minimum distance");
+        dmax / dmin
     }
 }
 
@@ -236,5 +300,66 @@ mod tests {
         let (j, d) = ds.nearest_excluding(4); // center point (1,1)
         assert_ne!(j, 4);
         assert_eq!(d, 1.0);
+    }
+
+    /// Deterministic pseudo-random dataset for the selection/scan tests.
+    fn scattered_dataset(n: usize, seed: u64) -> Dataset<Vec<f64>, Euclidean> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 50.0
+        };
+        Dataset::new(
+            (0..n).map(|_| vec![next(), next(), next()]).collect(),
+            Euclidean,
+        )
+    }
+
+    #[test]
+    fn partitioned_k_nearest_matches_full_sort_for_every_k() {
+        let ds = scattered_dataset(120, 3);
+        let q = vec![25.0, 10.0, 40.0];
+        // Reference: the seed's full-sort implementation.
+        let mut full: Vec<(usize, f64)> = (0..ds.len()).map(|i| (i, ds.dist_to(i, &q))).collect();
+        full.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        for k in [0usize, 1, 2, 7, 119, 120, 500] {
+            let got = ds.k_nearest_brute(&q, k);
+            let want: Vec<(usize, f64)> = full.iter().copied().take(k).collect();
+            assert_eq!(got, want, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn min_max_interpoint_is_thread_count_invariant() {
+        let ds = scattered_dataset(90, 9);
+        // Sequential reference.
+        let mut dmin = f64::INFINITY;
+        let mut dmax: f64 = 0.0;
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let d = ds.dist(i, j);
+                dmin = dmin.min(d);
+                dmax = dmax.max(d);
+            }
+        }
+        let machine = std::thread::available_parallelism().map_or(1, |t| t.get());
+        for threads in [1usize, 2, machine] {
+            let got = rayon::with_threads(threads, || ds.min_max_interpoint());
+            assert_eq!(got, (dmin, dmax), "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn surrogate_helpers_round_trip_under_l2() {
+        let ds = grid_dataset();
+        let s = ds.dist_surrogate(0, 8);
+        assert_eq!(s, 8.0); // squared distance across the grid diagonal
+        assert_eq!(ds.dist_from_surrogate(s), ds.dist(0, 8));
+        let q = vec![0.5, 0.0];
+        assert_eq!(ds.surrogate_to(0, &q), 0.25);
     }
 }

@@ -13,6 +13,9 @@
 //!   measures query time in *number of distance computations*, so every
 //!   experiment in this workspace is instrumented through this type;
 //! * [`Dataset`], an id-addressed collection of points paired with a metric;
+//! * [`FlatPoints`] / [`FlatRow`] ([`flat`]), the contiguous row-major point
+//!   layout every hot path should run on, and the surrogate-comparison hooks
+//!   on [`Metric`] that let search compare in squared space under `L_2`;
 //! * aspect-ratio utilities ([`aspect`]), including the approximation
 //!   `d̂_max ∈ [d_max, 2 d_max]` from the remark of Section 2.4;
 //! * empirical doubling-dimension estimators ([`doubling`]).
@@ -25,6 +28,7 @@ pub mod aspect;
 pub mod counter;
 pub mod dataset;
 pub mod doubling;
+pub mod flat;
 pub mod lp;
 pub mod metric;
 pub mod scaled;
@@ -32,6 +36,11 @@ pub mod scaled;
 pub use angular::{normalize, Angular};
 pub use counter::Counting;
 pub use dataset::Dataset;
+pub use flat::{FlatPoints, FlatRow};
 pub use lp::{Chebyshev, Euclidean, Manhattan};
 pub use metric::Metric;
 pub use scaled::Scaled;
+
+/// A flat-backed Euclidean-style dataset: contiguous coordinates, generic
+/// over the metric. The layout every experiment runs on by default.
+pub type FlatDataset<M> = Dataset<FlatRow, M>;

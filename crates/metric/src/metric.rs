@@ -15,12 +15,63 @@
 pub trait Metric<P: ?Sized> {
     /// The distance `D(a, b)` between two points.
     fn dist(&self, a: &P, b: &P) -> f64;
+
+    /// A monotone *surrogate* of the distance, for comparison-only code
+    /// paths.
+    ///
+    /// The routing procedures (`greedy`, `query`, beam search) only ever
+    /// *compare* distances to the query; the actual values are reported once
+    /// at the end. A metric may therefore expose a cheaper monotone stand-in
+    /// — Euclidean uses the **squared** distance, skipping the `sqrt` on
+    /// every comparison. Implementations must guarantee:
+    ///
+    /// 1. `dist_from_surrogate(surrogate(a, b))` is **bit-identical** to
+    ///    `dist(a, b)`;
+    /// 2. `surrogate(a, b) <= surrogate(c, d)` implies
+    ///    `dist(a, b) <= dist(c, d)`, and surrogate equality implies
+    ///    distance equality.
+    ///
+    /// Note the implication is one-way: a rounded monotone map can collapse
+    /// *distinct* surrogates onto *equal* distances (correctly-rounded
+    /// `sqrt` does, by pigeonhole), so the surrogate order refines the
+    /// distance order. Comparison-only code that switches to surrogates
+    /// therefore never gets a wrong answer — where the two orders differ,
+    /// the surrogate is the more discriminating (pre-rounding) comparison —
+    /// but it may break a rounded-distance tie that `dist`-based code
+    /// would have seen.
+    ///
+    /// One `surrogate` call counts as one distance computation in the
+    /// paper's cost model (the [`Counting`](crate::Counting) wrapper counts
+    /// it), because it does the same coordinate work. The default is the
+    /// distance itself.
+    #[inline]
+    fn surrogate(&self, a: &P, b: &P) -> f64 {
+        self.dist(a, b)
+    }
+
+    /// Maps a [`surrogate`](Metric::surrogate) value back to the true
+    /// distance (default: identity). Must be monotone non-decreasing; this
+    /// is a pure float transform, **not** a distance computation.
+    #[inline]
+    fn dist_from_surrogate(&self, s: f64) -> f64 {
+        s
+    }
 }
 
 impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
     #[inline]
     fn dist(&self, a: &P, b: &P) -> f64 {
         (**self).dist(a, b)
+    }
+
+    #[inline]
+    fn surrogate(&self, a: &P, b: &P) -> f64 {
+        (**self).surrogate(a, b)
+    }
+
+    #[inline]
+    fn dist_from_surrogate(&self, s: f64) -> f64 {
+        (**self).dist_from_surrogate(s)
     }
 }
 

@@ -51,6 +51,19 @@ impl<P: ?Sized, M: Metric<P>> Metric<P> for Scaled<M> {
     fn dist(&self, a: &P, b: &P) -> f64 {
         self.factor * self.inner.dist(a, b)
     }
+
+    /// Scaling by a positive factor preserves order, so the inner metric's
+    /// surrogate works unscaled — the fast comparison path (e.g. squared
+    /// Euclidean) survives the wrapper.
+    #[inline]
+    fn surrogate(&self, a: &P, b: &P) -> f64 {
+        self.inner.surrogate(a, b)
+    }
+
+    #[inline]
+    fn dist_from_surrogate(&self, s: f64) -> f64 {
+        self.factor * self.inner.dist_from_surrogate(s)
+    }
 }
 
 #[cfg(test)]
@@ -69,6 +82,26 @@ mod tests {
     fn normalization_maps_dmin_to_two() {
         let m = Scaled::normalizing_min_dist(Euclidean, 0.5);
         assert_eq!(m.dist(&vec![0.0], &vec![0.5]), 2.0);
+    }
+
+    #[test]
+    fn scaled_surrogate_round_trips_bit_exactly_and_preserves_order() {
+        // Pin P = Vec<f64>: the surrogate-mapping method alone does not
+        // mention the point type.
+        fn round_trip<M: Metric<Vec<f64>>>(m: &M, a: &Vec<f64>, b: &Vec<f64>) -> (f64, f64) {
+            (m.dist_from_surrogate(m.surrogate(a, b)), m.dist(a, b))
+        }
+        let m = Scaled::new(Euclidean, 3.0);
+        let a = vec![0.3, -1.2];
+        let b = vec![2.0, 0.7];
+        let c = vec![9.5, -4.0];
+        let (via_surrogate, direct) = round_trip(&m, &a, &b);
+        assert_eq!(via_surrogate, direct);
+        // Unscaled surrogates still order exactly like scaled distances.
+        assert_eq!(
+            m.surrogate(&a, &b) < m.surrogate(&a, &c),
+            m.dist(&a, &b) < m.dist(&a, &c)
+        );
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //! * query generators ([`uniform_queries`], [`perturbed_queries`]).
 //!
 //! All generators take an explicit seed and are deterministic.
+//!
+//! # Layouts
+//!
+//! Every generator fills contiguous [`FlatPoints`] storage directly — the
+//! `*_flat` functions are the primary API and what the experiments should
+//! use ([`pg_metric::FlatPoints::into_dataset`] yields the fast
+//! `Dataset<FlatRow, M>`). The legacy `Vec<Vec<f64>>` variants delegate to
+//! the flat generators and copy out nested rows, so for any seed the two
+//! layouts hold **bit-identical coordinates** (tested below).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,7 +36,10 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Points type used across the workspace's Euclidean experiments.
+pub use pg_metric::{FlatPoints, FlatRow};
+
+/// Nested points type of the legacy generators (one `Vec` per point). Hot
+/// paths should prefer [`FlatPoints`].
 pub type Points = Vec<Vec<f64>>;
 
 /// Standard normal via Box–Muller (avoids a rand_distr dependency).
@@ -37,59 +49,87 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// `n` i.i.d. uniform points in `[0, side]^d`.
-pub fn uniform_cube(n: usize, d: usize, side: f64, seed: u64) -> Points {
+/// `n` i.i.d. uniform points in `[0, side]^d`, flat layout.
+pub fn uniform_cube_flat(n: usize, d: usize, side: f64, seed: u64) -> FlatPoints {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| (0..d).map(|_| rng.random_range(0.0..side)).collect())
-        .collect()
+    FlatPoints::from_fn(n, d, |_, out| {
+        out.extend((0..d).map(|_| rng.random_range(0.0..side)))
+    })
+}
+
+/// [`uniform_cube_flat`] in the legacy nested layout.
+pub fn uniform_cube(n: usize, d: usize, side: f64, seed: u64) -> Points {
+    uniform_cube_flat(n, d, side, seed).to_nested()
 }
 
 /// `n` points from `k` Gaussian clusters with the given per-coordinate
-/// standard deviation; cluster centers are uniform in `[0, side]^d`.
-pub fn gaussian_clusters(n: usize, d: usize, k: usize, std: f64, side: f64, seed: u64) -> Points {
+/// standard deviation; cluster centers are uniform in `[0, side]^d`. Flat
+/// layout.
+pub fn gaussian_clusters_flat(
+    n: usize,
+    d: usize,
+    k: usize,
+    std: f64,
+    side: f64,
+    seed: u64,
+) -> FlatPoints {
     assert!(k >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
-    let centers: Points = (0..k)
-        .map(|_| (0..d).map(|_| rng.random_range(0.0..side)).collect())
-        .collect();
-    (0..n)
-        .map(|i| {
-            let c = &centers[i % k];
-            c.iter().map(|&x| x + std * gaussian(&mut rng)).collect()
-        })
-        .collect()
+    let centers = FlatPoints::from_fn(k, d, |_, out| {
+        out.extend((0..d).map(|_| rng.random_range(0.0..side)))
+    });
+    FlatPoints::from_fn(n, d, |i, out| {
+        out.extend(
+            centers
+                .row(i % k)
+                .iter()
+                .map(|&x| x + std * gaussian(&mut rng)),
+        )
+    })
+}
+
+/// [`gaussian_clusters_flat`] in the legacy nested layout.
+pub fn gaussian_clusters(n: usize, d: usize, k: usize, std: f64, side: f64, seed: u64) -> Points {
+    gaussian_clusters_flat(n, d, k, std, side, seed).to_nested()
 }
 
 /// `n` points on a noisy swiss-roll 2-manifold embedded in `d >= 3`
 /// dimensions (extra coordinates carry small noise): ambient dimension is
-/// `d` but the doubling dimension stays ~2.
-pub fn swiss_roll(n: usize, d: usize, seed: u64) -> Points {
+/// `d` but the doubling dimension stays ~2. Flat layout.
+pub fn swiss_roll_flat(n: usize, d: usize, seed: u64) -> FlatPoints {
     assert!(d >= 3, "swiss roll needs ambient dimension >= 3");
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let t = rng.random_range(1.5..4.5 * std::f64::consts::PI);
-            let h = rng.random_range(0.0..10.0);
-            let mut p = vec![t * t.cos(), t * t.sin(), h];
-            for _ in 3..d {
-                p.push(0.01 * gaussian(&mut rng));
-            }
-            p
-        })
-        .collect()
+    FlatPoints::from_fn(n, d, |_, out| {
+        let t = rng.random_range(1.5..4.5 * std::f64::consts::PI);
+        let h = rng.random_range(0.0..10.0);
+        out.push(t * t.cos());
+        out.push(t * t.sin());
+        out.push(h);
+        for _ in 3..d {
+            out.push(0.01 * gaussian(&mut rng));
+        }
+    })
+}
+
+/// [`swiss_roll_flat`] in the legacy nested layout.
+pub fn swiss_roll(n: usize, d: usize, seed: u64) -> Points {
+    swiss_roll_flat(n, d, seed).to_nested()
 }
 
 /// The integer lattice `{0, spacing, ..., (side-1) * spacing}^d`
-/// (`side^d` points, exact minimum distance `spacing`).
-pub fn lattice(side: usize, d: usize, spacing: f64) -> Points {
+/// (`side^d` points, exact minimum distance `spacing`). Flat layout.
+pub fn lattice_flat(side: usize, d: usize, spacing: f64) -> FlatPoints {
     assert!(side >= 1 && d >= 1);
     let total = side.pow(d as u32);
     assert!(total <= 4_000_000, "lattice too large: {total} points");
-    let mut out = Vec::with_capacity(total);
+    let mut out = FlatPoints::with_capacity(total, d);
     let mut idx = vec![0usize; d];
+    let mut row = vec![0.0; d];
     loop {
-        out.push(idx.iter().map(|&i| i as f64 * spacing).collect());
+        for (r, &i) in row.iter_mut().zip(idx.iter()) {
+            *r = i as f64 * spacing;
+        }
+        out.push(&row);
         let mut carry = true;
         for c in idx.iter_mut() {
             if carry {
@@ -108,10 +148,33 @@ pub fn lattice(side: usize, d: usize, spacing: f64) -> Points {
     out
 }
 
+/// [`lattice_flat`] in the legacy nested layout.
+pub fn lattice(side: usize, d: usize, spacing: f64) -> Points {
+    lattice_flat(side, d, spacing).to_nested()
+}
+
 /// `clusters` unit-size clusters of `per_cluster` points each, cluster `j`
 /// centered at `x_1 = ratio^j`. The aspect ratio is ~`ratio^clusters`, so
 /// `log Δ ≈ clusters * log2(ratio)` grows while `n` stays fixed — the
-/// workload for the Euclidean-separation experiments.
+/// workload for the Euclidean-separation experiments. Flat layout.
+pub fn geometric_chain_flat(
+    clusters: usize,
+    per_cluster: usize,
+    ratio: f64,
+    d: usize,
+    seed: u64,
+) -> FlatPoints {
+    assert!(ratio > 1.0 && clusters >= 1 && per_cluster >= 1 && d >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    FlatPoints::from_fn(clusters * per_cluster, d, |i, out| {
+        let cx = ratio.powi((i / per_cluster) as i32);
+        let first = out.len();
+        out.extend((0..d).map(|_| rng.random_range(0.0..1.0)));
+        out[first] += cx;
+    })
+}
+
+/// [`geometric_chain_flat`] in the legacy nested layout.
 pub fn geometric_chain(
     clusters: usize,
     per_cluster: usize,
@@ -119,22 +182,11 @@ pub fn geometric_chain(
     d: usize,
     seed: u64,
 ) -> Points {
-    assert!(ratio > 1.0 && clusters >= 1 && per_cluster >= 1 && d >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(clusters * per_cluster);
-    for j in 0..clusters {
-        let cx = ratio.powi(j as i32);
-        for _ in 0..per_cluster {
-            let mut p: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
-            p[0] += cx;
-            out.push(p);
-        }
-    }
-    out
+    geometric_chain_flat(clusters, per_cluster, ratio, d, seed).to_nested()
 }
 
 /// A 1-d Cantor-dust set embedded in the plane: the `2^levels` points
-/// `x = Σ_j b_j · ratio^j` for `b ∈ {0,1}^levels`, at `y = 0`.
+/// `x = Σ_j b_j · ratio^j` for `b ∈ {0,1}^levels`, at `y = 0`. Flat layout.
 ///
 /// Self-similar at every scale: minimum distance 1, diameter
 /// `≈ ratio^levels`, so `log Δ ≈ levels · log2(ratio)` — sweeping `ratio` at
@@ -142,7 +194,7 @@ pub fn geometric_chain(
 /// combinatorial structure. Doubling dimension stays ~1. This is the
 /// Euclidean workload on which the `n log Δ` size of per-level nets is
 /// actually attained (the separation experiment T1.3-sep).
-pub fn cantor_dust(levels: usize, ratio: f64) -> Points {
+pub fn cantor_dust_flat(levels: usize, ratio: f64) -> FlatPoints {
     assert!(
         (1..=24).contains(&levels),
         "2^levels points; keep levels <= 24"
@@ -155,85 +207,119 @@ pub fn cantor_dust(levels: usize, ratio: f64) -> Points {
         "ratio^levels too large for exact f64 coordinates"
     );
     let n = 1usize << levels;
-    (0..n)
-        .map(|mask| {
-            let mut x = 0.0;
-            for j in 0..levels {
-                if mask >> j & 1 == 1 {
-                    x += ratio.powi(j as i32);
-                }
+    FlatPoints::from_fn(n, 2, |mask, out| {
+        let mut x = 0.0;
+        for j in 0..levels {
+            if mask >> j & 1 == 1 {
+                x += ratio.powi(j as i32);
             }
-            vec![x, 0.0]
-        })
-        .collect()
+        }
+        out.push(x);
+        out.push(0.0);
+    })
+}
+
+/// [`cantor_dust_flat`] in the legacy nested layout.
+pub fn cantor_dust(levels: usize, ratio: f64) -> Points {
+    cantor_dust_flat(levels, ratio).to_nested()
 }
 
 /// A unit cluster of `n - satellite` points at the origin plus `satellite`
 /// points displaced by `spread` along the first axis: `Δ ≈ spread * n^{1/d}`.
-pub fn two_scale(n: usize, d: usize, satellite: usize, spread: f64, seed: u64) -> Points {
+/// Flat layout.
+pub fn two_scale_flat(n: usize, d: usize, satellite: usize, spread: f64, seed: u64) -> FlatPoints {
     assert!(satellite < n);
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| {
-            let mut p: Vec<f64> = (0..d).map(|_| rng.random_range(0.0..1.0)).collect();
-            if i >= n - satellite {
-                p[0] += spread;
-            }
-            p
-        })
-        .collect()
+    FlatPoints::from_fn(n, d, |i, out| {
+        let first = out.len();
+        out.extend((0..d).map(|_| rng.random_range(0.0..1.0)));
+        if i >= n - satellite {
+            out[first] += spread;
+        }
+    })
+}
+
+/// [`two_scale_flat`] in the legacy nested layout.
+pub fn two_scale(n: usize, d: usize, satellite: usize, spread: f64, seed: u64) -> Points {
+    two_scale_flat(n, d, satellite, spread, seed).to_nested()
 }
 
 /// `n` points uniform on the unit sphere `S^{d-1}` (Gaussian direction
-/// method) — the natural workload for the `pg_metric::Angular` metric.
-pub fn unit_sphere(n: usize, d: usize, seed: u64) -> Points {
+/// method) — the natural workload for the `pg_metric::Angular` metric. Flat
+/// layout.
+pub fn unit_sphere_flat(n: usize, d: usize, seed: u64) -> FlatPoints {
     assert!(d >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| loop {
-            let v: Vec<f64> = (0..d).map(|_| gaussian(&mut rng)).collect();
-            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm > 1e-9 {
-                return v.iter().map(|x| x / norm).collect();
-            }
-        })
-        .collect()
+    FlatPoints::from_fn(n, d, |_, out| loop {
+        let v: Vec<f64> = (0..d).map(|_| gaussian(&mut rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            out.extend(v.iter().map(|x| x / norm));
+            return;
+        }
+    })
 }
 
-/// `m` uniform query points in `[lo, hi]^d`.
-pub fn uniform_queries(m: usize, d: usize, lo: f64, hi: f64, seed: u64) -> Points {
+/// [`unit_sphere_flat`] in the legacy nested layout.
+pub fn unit_sphere(n: usize, d: usize, seed: u64) -> Points {
+    unit_sphere_flat(n, d, seed).to_nested()
+}
+
+/// `m` uniform query points in `[lo, hi]^d`, flat layout (turn into engine
+/// query batches with [`FlatPoints::into_rows`]).
+pub fn uniform_queries_flat(m: usize, d: usize, lo: f64, hi: f64, seed: u64) -> FlatPoints {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..m)
-        .map(|_| (0..d).map(|_| rng.random_range(lo..hi)).collect())
-        .collect()
+    FlatPoints::from_fn(m, d, |_, out| {
+        out.extend((0..d).map(|_| rng.random_range(lo..hi)))
+    })
+}
+
+/// [`uniform_queries_flat`] in the legacy nested layout.
+pub fn uniform_queries(m: usize, d: usize, lo: f64, hi: f64, seed: u64) -> Points {
+    uniform_queries_flat(m, d, lo, hi, seed).to_nested()
 }
 
 /// `m` queries obtained by Gaussian-perturbing random data points — the
-/// "near-data" query distribution typical of embedding retrieval.
-pub fn perturbed_queries(data: &[Vec<f64>], m: usize, sigma: f64, seed: u64) -> Points {
+/// "near-data" query distribution typical of embedding retrieval. Flat
+/// layout.
+pub fn perturbed_queries_flat(data: &FlatPoints, m: usize, sigma: f64, seed: u64) -> FlatPoints {
     assert!(!data.is_empty());
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..m)
-        .map(|_| {
-            let base = &data[rng.random_range(0..data.len())];
-            base.iter()
-                .map(|&x| x + sigma * gaussian(&mut rng))
-                .collect()
-        })
-        .collect()
+    FlatPoints::from_fn(m, data.dim(), |_, out| {
+        let base = data.row(rng.random_range(0..data.len()));
+        out.extend(base.iter().map(|&x| x + sigma * gaussian(&mut rng)));
+    })
 }
 
-/// Named standard datasets for the comparison experiments: `(name, points)`.
-pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Points)> {
+/// [`perturbed_queries_flat`] over the legacy nested layout.
+pub fn perturbed_queries(data: &[Vec<f64>], m: usize, sigma: f64, seed: u64) -> Points {
+    assert!(!data.is_empty());
+    perturbed_queries_flat(&FlatPoints::from(data), m, sigma, seed).to_nested()
+}
+
+/// Named standard datasets for the comparison experiments, flat layout:
+/// `(name, points)`.
+pub fn standard_suite_flat(n: usize, seed: u64) -> Vec<(&'static str, FlatPoints)> {
     vec![
-        ("uniform-2d", uniform_cube(n, 2, 100.0, seed)),
+        ("uniform-2d", uniform_cube_flat(n, 2, 100.0, seed)),
         (
             "clusters-2d",
-            gaussian_clusters(n, 2, 16, 1.0, 100.0, seed + 1),
+            gaussian_clusters_flat(n, 2, 16, 1.0, 100.0, seed + 1),
         ),
-        ("swiss-roll-3d", swiss_roll(n, 3, seed + 2)),
-        ("chain-2d", geometric_chain(16, n / 16, 3.0, 2, seed + 3)),
+        ("swiss-roll-3d", swiss_roll_flat(n, 3, seed + 2)),
+        (
+            "chain-2d",
+            geometric_chain_flat(16, n / 16, 3.0, 2, seed + 3),
+        ),
     ]
+}
+
+/// [`standard_suite_flat`] in the legacy nested layout.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Points)> {
+    standard_suite_flat(n, seed)
+        .into_iter()
+        .map(|(name, fp)| (name, fp.to_nested()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -251,6 +337,44 @@ mod tests {
             .all(|p| p.iter().all(|&x| (0.0..10.0).contains(&x))));
         let c = uniform_cube(100, 3, 10.0, 8);
         assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn flat_and_nested_layouts_hold_identical_coordinates() {
+        // The nested variants delegate to the flat generators, so for any
+        // seed the coordinates agree bit for bit — this pins the contract.
+        assert_eq!(
+            uniform_cube_flat(50, 4, 9.0, 3).to_nested(),
+            uniform_cube(50, 4, 9.0, 3)
+        );
+        assert_eq!(
+            gaussian_clusters_flat(60, 3, 5, 0.5, 20.0, 4).to_nested(),
+            gaussian_clusters(60, 3, 5, 0.5, 20.0, 4)
+        );
+        assert_eq!(swiss_roll_flat(40, 5, 5).to_nested(), swiss_roll(40, 5, 5));
+        assert_eq!(lattice_flat(3, 3, 1.5).to_nested(), lattice(3, 3, 1.5));
+        assert_eq!(
+            geometric_chain_flat(4, 6, 2.5, 2, 6).to_nested(),
+            geometric_chain(4, 6, 2.5, 2, 6)
+        );
+        assert_eq!(cantor_dust_flat(4, 3.0).to_nested(), cantor_dust(4, 3.0));
+        assert_eq!(
+            two_scale_flat(30, 2, 5, 100.0, 7).to_nested(),
+            two_scale(30, 2, 5, 100.0, 7)
+        );
+        assert_eq!(
+            unit_sphere_flat(25, 3, 8).to_nested(),
+            unit_sphere(25, 3, 8)
+        );
+        assert_eq!(
+            uniform_queries_flat(20, 2, -1.0, 1.0, 9).to_nested(),
+            uniform_queries(20, 2, -1.0, 1.0, 9)
+        );
+        let data = uniform_cube(30, 2, 10.0, 10);
+        assert_eq!(
+            perturbed_queries_flat(&FlatPoints::from(&data[..]), 15, 0.2, 11).to_nested(),
+            perturbed_queries(&data, 15, 0.2, 11)
+        );
     }
 
     #[test]
@@ -349,6 +473,11 @@ mod tests {
         assert_eq!(suite.len(), 4);
         for (name, pts) in &suite {
             assert!(pts.len() >= 150, "{name} too small: {}", pts.len());
+        }
+        // The flat suite agrees entry by entry.
+        for ((name, pts), (fname, fp)) in suite.iter().zip(standard_suite_flat(160, 42)) {
+            assert_eq!(*name, fname);
+            assert_eq!(*pts, fp.to_nested());
         }
     }
 }

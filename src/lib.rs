@@ -9,7 +9,7 @@
 //!
 //! | Crate | Contents |
 //! |-------|----------|
-//! | [`metric`] | `Metric` trait, `L_p` metrics, distance-count instrumentation, aspect-ratio and doubling-dimension tools |
+//! | [`metric`] | `Metric` trait, `L_p` metrics with unrolled kernels, contiguous `FlatPoints`/`FlatRow` storage, distance-count instrumentation, aspect-ratio and doubling-dimension tools |
 //! | [`covertree`] | dynamic cover tree (insert / lazy delete / `c`-ANN / range) — the Cole–Gottlieb stand-in of Section 2.4 |
 //! | [`nets`] | `r`-nets and the near-linear hierarchical net ladder (Har-Peled–Mendel stand-in) |
 //! | [`core`] | `G_net` (Thm 1.1), `greedy`/`query` (Sec 1.1), navigability checking (Fact 2.1), θ-graphs (Sec 5.1), the merged Euclidean graph (Thm 1.3), the parallel batched `QueryEngine` |
@@ -75,6 +75,12 @@
 //! // Budgeted batches (`batch_query`) and beam batches (`batch_beam`) work
 //! // the same way; `batch.dist_comps` aggregates the whole batch's cost.
 //! ```
+//!
+//! For serving workloads, store points in the contiguous
+//! [`FlatPoints`](metric::FlatPoints) layout
+//! (`workloads::uniform_cube_flat(..).into_dataset(Euclidean)`): identical
+//! results and distance counts (pinned by `tests/flat_parity.rs`), better
+//! cache behavior on every scan — see README § Performance.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

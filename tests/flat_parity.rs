@@ -1,0 +1,141 @@
+//! Layout parity: a flat-backed dataset (`FlatPoints` → `Dataset<FlatRow>`)
+//! must be **observationally identical** to the legacy nested
+//! `Vec<Vec<f64>>` dataset holding the same coordinates — same built
+//! graphs, same greedy/budgeted/beam answers hop for hop, same brute-force
+//! k-NN, and the same `dist_comps` accounting, at every thread count. The
+//! flat layout (and the squared-distance comparison surrogate both layouts
+//! share) is allowed to change the wall clock only.
+
+use proptest::prelude::*;
+use proximity_graphs::core::{beam_search, greedy, query, GNet, QueryEngine};
+use proximity_graphs::metric::{Counting, Dataset, Euclidean, FlatRow};
+use proximity_graphs::workloads;
+
+type CountingDataset<P> = Dataset<P, Counting<Euclidean>>;
+
+/// The same instance in both layouts, plus queries and start vertices.
+#[allow(clippy::type_complexity)]
+fn paired_instance(
+    n: usize,
+    d: usize,
+    m: usize,
+    seed: u64,
+) -> (
+    CountingDataset<FlatRow>,
+    CountingDataset<Vec<f64>>,
+    Vec<FlatRow>,
+    Vec<Vec<f64>>,
+    Vec<u32>,
+) {
+    let side = 40.0;
+    let flat_pts = workloads::uniform_cube_flat(n, d, side, seed);
+    let nested_pts = flat_pts.to_nested();
+    let queries_flat = workloads::uniform_queries_flat(m, d, -5.0, side + 5.0, seed ^ 0xABCD);
+    let queries_nested = queries_flat.to_nested();
+    let starts: Vec<u32> = (0..m)
+        .map(|i| ((i * 31 + seed as usize) % n) as u32)
+        .collect();
+    (
+        flat_pts.into_dataset(Counting::new(Euclidean)),
+        Dataset::new(nested_pts, Counting::new(Euclidean)),
+        queries_flat.into_rows(),
+        queries_nested,
+        starts,
+    )
+}
+
+fn thread_counts() -> [usize; 3] {
+    let machine = std::thread::available_parallelism().map_or(1, |c| c.get());
+    [1, 2, machine]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn search_and_knn_agree_across_layouts(
+        n in 8usize..100,
+        d in 1usize..6,
+        m in 1usize..10,
+        seed in 0u64..1_000_000,
+        budget in 1u64..200,
+        ef in 1usize..8,
+        k in 1usize..6,
+    ) {
+        let (flat, nested, q_flat, q_nested, starts) = paired_instance(n, d, m, seed);
+
+        // The same graph comes out of both layouts.
+        let gf = GNet::build_fast(&flat, 1.0);
+        let gn = GNet::build_fast(&nested, 1.0);
+        prop_assert_eq!(&gf.graph, &gn.graph);
+        flat.metric().reset();
+        nested.metric().reset();
+
+        for (i, (qf, qn)) in q_flat.iter().zip(q_nested.iter()).enumerate() {
+            let s = starts[i];
+            let a = greedy(&gf.graph, &flat, s, qf);
+            let b = greedy(&gn.graph, &nested, s, qn);
+            prop_assert_eq!(a.result, b.result);
+            prop_assert_eq!(a.result_dist, b.result_dist);
+            prop_assert_eq!(&a.hops, &b.hops);
+            prop_assert_eq!(a.dist_comps, b.dist_comps);
+            prop_assert_eq!(a.self_terminated, b.self_terminated);
+
+            let a = query(&gf.graph, &flat, s, qf, budget);
+            let b = query(&gn.graph, &nested, s, qn, budget);
+            prop_assert_eq!(a.result, b.result);
+            prop_assert_eq!(a.result_dist, b.result_dist);
+            prop_assert_eq!(&a.hops, &b.hops);
+            prop_assert_eq!(a.dist_comps, b.dist_comps);
+            prop_assert_eq!(a.self_terminated, b.self_terminated);
+
+            let (ra, ca) = beam_search(&gf.graph, &flat, s, qf, ef, k);
+            let (rb, cb) = beam_search(&gn.graph, &nested, s, qn, ef, k);
+            prop_assert_eq!(&ra, &rb);
+            prop_assert_eq!(ca, cb);
+
+            // Brute-force selection: same ids, bit-identical distances.
+            prop_assert_eq!(flat.k_nearest_brute(qf, k), nested.k_nearest_brute(qn, k));
+            prop_assert_eq!(flat.nearest_brute(qf), nested.nearest_brute(qn));
+        }
+        // Identical work done on both layouts, counted by the shared-atomic
+        // instrumentation the paper's cost model uses.
+        prop_assert_eq!(flat.metric().count(), nested.metric().count());
+    }
+
+    #[test]
+    fn engine_batches_agree_across_layouts_and_thread_counts(
+        n in 8usize..80,
+        d in 1usize..5,
+        m in 1usize..12,
+        seed in 0u64..1_000_000,
+        ef in 1usize..8,
+        k in 1usize..5,
+    ) {
+        let (flat, nested, q_flat, q_nested, starts) = paired_instance(n, d, m, seed);
+        let g = GNet::build_fast(&flat, 1.0);
+        let flat_engine = QueryEngine::new(g.graph.clone(), flat);
+        let nested_engine = QueryEngine::new(g.graph, nested);
+
+        let mut reference: Option<u64> = None;
+        for threads in thread_counts() {
+            let bf = flat_engine.clone().with_threads(threads).batch_greedy(&starts, &q_flat);
+            let bn = nested_engine.clone().with_threads(threads).batch_greedy(&starts, &q_nested);
+            prop_assert_eq!(bf.dist_comps, bn.dist_comps);
+            for (a, b) in bf.outcomes.iter().zip(bn.outcomes.iter()) {
+                prop_assert_eq!(a.result, b.result);
+                prop_assert_eq!(a.result_dist, b.result_dist);
+                prop_assert_eq!(&a.hops, &b.hops);
+                prop_assert_eq!(a.dist_comps, b.dist_comps);
+            }
+            // Thread-count invariance of the distance totals, across layouts.
+            let expect = *reference.get_or_insert(bf.dist_comps);
+            prop_assert_eq!(bf.dist_comps, expect);
+
+            let ebf = flat_engine.clone().with_threads(threads).batch_beam(&starts, &q_flat, ef, k);
+            let ebn = nested_engine.clone().with_threads(threads).batch_beam(&starts, &q_nested, ef, k);
+            prop_assert_eq!(&ebf.results, &ebn.results);
+            prop_assert_eq!(ebf.dist_comps, ebn.dist_comps);
+        }
+    }
+}
