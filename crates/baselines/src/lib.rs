@@ -15,6 +15,9 @@
 //! layer stack), so the comparison experiments can route queries through the
 //! exact same `greedy`/beam code paths and count distance computations with
 //! the same instrumentation.
+//!
+//! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,146 @@
+//! **Experiment: snapshot** — the build-once / query-many boundary:
+//! build `G_net`, save the index through the versioned `pg_store` format,
+//! load it back, and serve queries from the loaded engine.
+//!
+//! Reported: on-disk size vs in-memory size, save and load throughput
+//! (MB/s), load time vs (re)build time, and loaded-engine query throughput.
+//! Before any timing is trusted, the loaded engine's batch outcomes are
+//! asserted **identical** to the freshly built engine's — results, hops and
+//! `dist_comps` — so the offline/online split provably changes nothing but
+//! the wall clock.
+//!
+//! Run: `cargo run --release -p pg_bench --bin exp_snapshot
+//! [--smoke] [--full] [--threads N] [--path FILE]`
+//!
+//! `--path FILE` keeps the snapshot at FILE for reuse (e.g. by
+//! `exp_t11_query --load-index FILE`); without it a temp file is used and
+//! removed. `--smoke` is the tiny CI gate.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pg_bench::{fmt, full_mode, init_threads, spread_start, value_flag, Table};
+use pg_core::{GNet, QueryEngine};
+use pg_metric::{Euclidean, FlatRow};
+use pg_workloads as workloads;
+
+fn main() {
+    let threads = init_threads();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, d, m) = if smoke {
+        (400, 2, 64)
+    } else if full_mode() {
+        (30_000, 3, 4096)
+    } else {
+        (10_000, 3, 1024)
+    };
+    println!("# snapshot: build once offline, save, load, serve online");
+    println!("(n = {n}, d = {d}, {m} queries, {threads} thread(s))\n");
+
+    // ---- Offline: build ----------------------------------------------------
+    let side = (n as f64).sqrt() * 4.0;
+    let data = workloads::uniform_cube_flat(n, d, side, 11).into_dataset(Euclidean);
+    let t0 = Instant::now();
+    let g = GNet::build_fast(&data, 1.0);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let params = g.params;
+    let engine = QueryEngine::new(g.graph, data);
+
+    // ---- Save --------------------------------------------------------------
+    let keep = value_flag("--path").map(PathBuf::from);
+    let path = keep.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("exp_snapshot_{}.pgix", std::process::id()))
+    });
+    let t0 = Instant::now();
+    engine
+        .save_with(&path, 0, Some(params.into()))
+        .expect("saving the index snapshot failed");
+    let save_secs = t0.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&path)
+        .expect("snapshot file missing")
+        .len();
+
+    // ---- Load --------------------------------------------------------------
+    let t0 = Instant::now();
+    let (loaded, meta) = QueryEngine::<FlatRow, Euclidean>::load_with_meta(&path)
+        .expect("loading the index snapshot failed");
+    let load_secs = t0.elapsed().as_secs_f64();
+    // In-memory footprint of the loaded index (matches
+    // `Snapshot::in_memory_bytes`): CSR arrays as `Graph` holds them, the
+    // flat coordinate buffer, one 24-byte FlatRow handle per point.
+    let mem_bytes =
+        loaded.graph().memory_bytes() as u64 + (n as u64) * (d as u64) * 8 + (n as u64) * 24;
+    assert_eq!(meta.n, n as u64);
+    assert_eq!(meta.dims, d as u32);
+    let build_meta = meta.build.expect("build params were saved");
+    assert_eq!(build_meta.epsilon, params.epsilon);
+
+    // ---- Parity: the loaded engine answers identically ---------------------
+    let queries = workloads::uniform_queries_flat(m, d, 0.0, side, 12).into_rows();
+    let starts: Vec<u32> = (0..m).map(|i| spread_start(i, n)).collect();
+    let fresh = engine.batch_greedy(&starts, &queries);
+    let t0 = Instant::now();
+    let served = loaded.batch_greedy(&starts, &queries);
+    let serve_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(fresh.dist_comps, served.dist_comps);
+    for (a, b) in fresh.outcomes.iter().zip(served.outcomes.iter()) {
+        assert_eq!(a.result, b.result, "loaded engine diverged");
+        assert_eq!(a.result_dist, b.result_dist);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.dist_comps, b.dist_comps);
+    }
+    println!(
+        "loaded-engine parity: {m} queries identical to the fresh build \
+         (results, hops, dist_comps; {} total distance comps)\n",
+        served.dist_comps
+    );
+
+    // ---- Report ------------------------------------------------------------
+    let mb = |bytes: f64| bytes / (1024.0 * 1024.0);
+    let mut t = Table::new(&["measure", "value"]);
+    t.row(vec![
+        "edges".into(),
+        loaded.graph().edge_count().to_string(),
+    ]);
+    t.row(vec!["file size MB".into(), fmt(mb(file_bytes as f64), 2)]);
+    t.row(vec!["in-memory MB".into(), fmt(mb(mem_bytes as f64), 2)]);
+    t.row(vec![
+        "file / memory".into(),
+        fmt(file_bytes as f64 / mem_bytes as f64, 2),
+    ]);
+    t.row(vec!["build s".into(), fmt(build_secs, 3)]);
+    t.row(vec![
+        "save s (MB/s)".into(),
+        format!(
+            "{} ({})",
+            fmt(save_secs, 3),
+            fmt(mb(file_bytes as f64) / save_secs, 0)
+        ),
+    ]);
+    t.row(vec![
+        "load s (MB/s)".into(),
+        format!(
+            "{} ({})",
+            fmt(load_secs, 3),
+            fmt(mb(file_bytes as f64) / load_secs, 0)
+        ),
+    ]);
+    t.row(vec![
+        "load vs build".into(),
+        format!("{}x faster", fmt(build_secs / load_secs, 0)),
+    ]);
+    t.row(vec![
+        "loaded queries/s".into(),
+        fmt(m as f64 / serve_secs, 0),
+    ]);
+    t.print();
+    println!("\nThe online half never pays construction again: load is I/O-bound");
+    println!("while build is distance-bound, so the gap widens with n.");
+
+    match keep {
+        Some(p) => println!("\nindex kept at {} ({} bytes)", p.display(), file_bytes),
+        None => {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}

@@ -5,18 +5,23 @@
 //! with fitted log–log slopes.
 //!
 //! Run: `cargo run --release -p pg_bench --bin exp_t11_build
-//! [--full] [--threads N]`
+//! [--full] [--threads N] [--save-index PATH]`
 //!
 //! The cascade/naive candidate generation and the DiskANN-slow per-point
 //! pruning shard across the thread pool: `--threads` moves the wall-clock
 //! columns while the distance counts (the paper's cost model) stay exactly
 //! the same.
+//!
+//! `--save-index PATH` makes this the **offline half** of the experiment
+//! pair: after the sweep, the index at the largest `n` is rebuilt on plain
+//! `Euclidean` and persisted through the `pg_store` snapshot format, ready
+//! for `exp_t11_query --load-index PATH` to serve without rebuilding.
 
 use std::time::Instant;
 
 use pg_baselines::slow_preprocessing;
-use pg_bench::{fmt, full_mode, init_threads, loglog_slope, Table};
-use pg_core::GNet;
+use pg_bench::{fmt, full_mode, init_threads, loglog_slope, value_flag, Table};
+use pg_core::{GNet, QueryEngine};
 use pg_metric::{Counting, Euclidean};
 use pg_workloads as workloads;
 
@@ -123,4 +128,25 @@ fn main() {
         );
     }
     println!("\nAll three G_net builders produce identical graphs (asserted in tests).");
+
+    // ---- Offline half: persist the largest index --------------------------
+    if let Some(path) = value_flag("--save-index") {
+        let n = *ns.last().unwrap();
+        // Same generator and seed as the sweep row, on the plain metric (the
+        // snapshot stores the metric tag, not the Counting instrumentation).
+        let data =
+            workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 7).into_dataset(Euclidean);
+        let g = GNet::build_fast(&data, 1.0);
+        let params = g.params;
+        let engine = QueryEngine::new(g.graph, data);
+        engine
+            .save_with(&path, 0, Some(params.into()))
+            .expect("saving the index snapshot failed");
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "\nindex saved: {path} (n = {n}, {} edges, {bytes} bytes) — serve it with \
+             `exp_t11_query --load-index {path}`",
+            engine.graph().edge_count()
+        );
+    }
 }

@@ -9,13 +9,22 @@
 //! clock moves).
 //!
 //! Run: `cargo run --release -p pg_bench --bin exp_t11_query
-//! [--full] [--threads N]`
+//! [--full] [--threads N] [--load-index PATH]`
+//!
+//! `--load-index PATH` makes the throughput section the **online half** of
+//! the experiment pair: instead of rebuilding, the engine is loaded from a
+//! snapshot persisted by `exp_t11_build --save-index PATH` (the loaded
+//! engine's answers are bit-identical to a fresh build — pinned by
+//! `tests/snapshot_parity.rs`). The scaling tables earlier in the binary
+//! always build their own per-`n` indexes.
 
 use std::time::Instant;
 
-use pg_bench::{fmt, full_mode, init_threads, measure_greedy_batch, spread_start, Table};
+use pg_bench::{
+    fmt, full_mode, init_threads, measure_greedy_batch, spread_start, value_flag, Table,
+};
 use pg_core::{GNet, QueryEngine};
-use pg_metric::Euclidean;
+use pg_metric::{Euclidean, FlatRow};
 use pg_workloads as workloads;
 
 fn main() {
@@ -94,15 +103,34 @@ fn main() {
     println!("exactly the (1/ε)^λ trade-off of Theorem 1.1.\n");
 
     // ---- Batched throughput vs thread count ---------------------------------
-    let n = if full_mode() { 16000 } else { 8000 };
     let m = if full_mode() { 4096 } else { 1024 };
-    let data =
-        workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 25).into_dataset(Euclidean);
-    let g = GNet::build_fast(&data, 1.0);
+    let (engine, n, dims) = match value_flag("--load-index") {
+        Some(path) => {
+            // Online half: serve a persisted index instead of rebuilding.
+            let t0 = Instant::now();
+            let (engine, meta) = QueryEngine::<FlatRow, Euclidean>::load_with_meta(&path)
+                .expect("loading the index snapshot failed");
+            let eps = meta.build.map_or("?".to_string(), |b| fmt(b.epsilon, 2));
+            println!(
+                "index loaded from {path} in {} s (n = {}, d = {}, built with eps = {eps})",
+                fmt(t0.elapsed().as_secs_f64(), 3),
+                meta.n,
+                meta.dims
+            );
+            let n = meta.n as usize;
+            (engine, n, meta.dims as usize)
+        }
+        None => {
+            let n = if full_mode() { 16000 } else { 8000 };
+            let data = workloads::uniform_cube_flat(n, 2, (n as f64).sqrt() * 4.0, 25)
+                .into_dataset(Euclidean);
+            let g = GNet::build_fast(&data, 1.0);
+            (QueryEngine::new(g.graph, data), n, 2)
+        }
+    };
     let queries =
-        workloads::uniform_queries_flat(m, 2, 0.0, (n as f64).sqrt() * 4.0, 26).into_rows();
+        workloads::uniform_queries_flat(m, dims, 0.0, (n as f64).sqrt() * 4.0, 26).into_rows();
     let starts: Vec<u32> = (0..m).map(|i| spread_start(i, n)).collect();
-    let engine = QueryEngine::new(g.graph, data);
 
     let mut t = Table::new(&["threads", "batch dists", "wall-clock s", "queries/s"]);
     let mut reference_dists: Option<u64> = None;

@@ -5,6 +5,9 @@
 //! the corresponding paper-shaped table; `benches/` holds the criterion
 //! wall-clock micro-benchmarks. Binaries accept `--full` for the larger
 //! parameter sweeps recorded in EXPERIMENTS.md.
+//!
+//! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -168,26 +171,47 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// The value of a `--name VALUE` / `--name=VALUE` flag, if present.
+///
+/// This is the shared flag-parsing primitive of the experiment binaries:
+/// `--threads` goes through it, and the snapshot pair uses it for
+/// `--save-index PATH` / `--load-index PATH` (the offline/online split of
+/// `exp_t11_build` / `exp_t11_query`).
+pub fn value_flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    parse_value_flag(&args, name)
+}
+
+/// Flag-parsing core of [`value_flag`], split out for testability. `name`
+/// includes the leading dashes (e.g. `"--threads"`). In the space-separated
+/// form, a following token that is itself a flag (`--…`) is not consumed as
+/// the value — `exp --save-index --full` means the path is missing, not
+/// that the index goes to a file named `--full`. Use `--name=--value` if a
+/// dash-leading value is really intended.
+fn parse_value_flag(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 /// The `--threads N` / `--threads=N` flag, if present and valid.
 pub fn threads_flag() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     parse_threads_flag(&args)
 }
 
-/// Flag-parsing core of [`threads_flag`], split out for testability.
+/// Flag-parsing core of [`threads_flag`].
 fn parse_threads_flag(args: &[String]) -> Option<usize> {
-    for (i, a) in args.iter().enumerate() {
-        if a == "--threads" {
-            return args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .filter(|&t| t >= 1);
-        }
-        if let Some(v) = a.strip_prefix("--threads=") {
-            return v.parse().ok().filter(|&t| t >= 1);
-        }
-    }
-    None
+    parse_value_flag(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 1)
 }
 
 /// Applies the `--threads` flag (if any) to the global pool default and
@@ -248,6 +272,41 @@ mod tests {
         assert_eq!(
             parse_threads_flag(&to_args(&["exp", "--threads", "x"])),
             None
+        );
+    }
+
+    #[test]
+    fn value_flag_parsing() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_value_flag(
+                &to_args(&["exp", "--save-index", "/tmp/i.pgix"]),
+                "--save-index"
+            ),
+            Some("/tmp/i.pgix".to_string())
+        );
+        assert_eq!(
+            parse_value_flag(&to_args(&["exp", "--load-index=idx.pgix"]), "--load-index"),
+            Some("idx.pgix".to_string())
+        );
+        assert_eq!(
+            parse_value_flag(&to_args(&["exp", "--full"]), "--save-index"),
+            None
+        );
+        // A bare flag with no value yields nothing to parse downstream.
+        assert_eq!(
+            parse_value_flag(&to_args(&["exp", "--save-index"]), "--save-index"),
+            None
+        );
+        // A following flag is not swallowed as the value…
+        assert_eq!(
+            parse_value_flag(&to_args(&["exp", "--save-index", "--full"]), "--save-index"),
+            None
+        );
+        // …but the explicit `=` form can still pass anything.
+        assert_eq!(
+            parse_value_flag(&to_args(&["exp", "--save-index=--odd"]), "--save-index"),
+            Some("--odd".to_string())
         );
     }
 

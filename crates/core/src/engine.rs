@@ -15,6 +15,33 @@
 //! (`pg_metric`) uses a shared `Arc<AtomicU64>`, so concurrent shards all
 //! flow into one total.
 //!
+//! # `Sync` bounds
+//!
+//! The batch methods (and every parallel construction path in this
+//! workspace: [`GNet::build_fast_on`](crate::gnet::GNet::build_fast_on),
+//! [`gnet_edges_with_phi`](crate::gnet::gnet_edges_with_phi),
+//! [`DynamicGNet`](crate::dynamic::DynamicGNet),
+//! [`MergedGraph`](crate::merged::MergedGraph)) require `P: Sync` and
+//! `M: Metric<P> + Sync`: worker threads share `&Dataset<P, M>` across the
+//! pool's scope. Every point type in the workspace (`Vec<f64>`,
+//! [`FlatRow`], arrays) and every metric (the `L_p` family, `Counting`,
+//! `Scaled`) is `Sync`, so the bounds cost callers nothing — they only
+//! become visible when writing code generic over `P`/`M`, where they must
+//! be propagated (this is the PR-2 API change the sequential seed didn't
+//! need). The sequential entry points ([`greedy`](crate::search::greedy),
+//! [`query`], [`beam_search`]) remain bound-free.
+//!
+//! # Persistence
+//!
+//! Construction is the expensive phase; queries are cheap. The engine
+//! therefore splits into an offline and an online half:
+//! [`QueryEngine::save`] writes the index (graph + flat points + metadata)
+//! to the versioned `pg_store` on-disk format, and [`QueryEngine::load`]
+//! reconstructs an engine that answers **bit-identically** — same results,
+//! hops and `dist_comps` at every thread count (pinned by
+//! `tests/snapshot_parity.rs`). See the [`snapshot`](crate::snapshot)
+//! module and `ARCHITECTURE.md` at the repository root.
+//!
 //! [`Counting`]: pg_metric::Counting
 //!
 //! # Example

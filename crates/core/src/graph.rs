@@ -70,6 +70,62 @@ impl Graph {
         Graph { offsets, targets }
     }
 
+    /// Rebuilds a graph from raw CSR arrays, validating every invariant the
+    /// panicking constructors assert — the deserialization entry point
+    /// (`pg_store` snapshots carry exactly these arrays). Untrusted input
+    /// gets a typed rejection instead of a panic: offsets must start at 0,
+    /// be non-decreasing and end at `targets.len()`, and every adjacency
+    /// row must be strictly ascending, self-loop-free and in range.
+    pub fn try_from_csr(offsets: Vec<usize>, targets: Vec<u32>) -> Result<Graph, String> {
+        let n = match offsets.len().checked_sub(1) {
+            Some(n) => n,
+            None => return Err("offsets array is empty".into()),
+        };
+        if offsets[0] != 0 {
+            return Err(format!("offsets must start at 0, found {}", offsets[0]));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing".into());
+        }
+        if offsets[n] != targets.len() {
+            return Err(format!(
+                "final offset {} does not match edge count {}",
+                offsets[n],
+                targets.len()
+            ));
+        }
+        for v in 0..n {
+            let row = &targets[offsets[v]..offsets[v + 1]];
+            let mut prev: Option<u32> = None;
+            for &t in row {
+                if t as usize >= n {
+                    return Err(format!("edge target {t} out of range (n = {n})"));
+                }
+                if t as usize == v {
+                    return Err(format!("self-loop ({v}, {t})"));
+                }
+                if prev.is_some_and(|p| p >= t) {
+                    return Err(format!("adjacency of {v} not strictly ascending at {t}"));
+                }
+                prev = Some(t);
+            }
+        }
+        Ok(Graph { offsets, targets })
+    }
+
+    /// The raw CSR row-offset array (length `n + 1`) — the serialization
+    /// counterpart of [`Graph::try_from_csr`].
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw CSR target array (all adjacency rows concatenated, each
+    /// sorted ascending) — the serialization counterpart of
+    /// [`Graph::try_from_csr`].
+    pub fn csr_targets(&self) -> &[u32] {
+        &self.targets
+    }
+
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
         Graph {
@@ -310,6 +366,38 @@ mod tests {
     #[should_panic(expected = "not strictly ascending")]
     fn from_sorted_adjacency_rejects_duplicates() {
         let _ = Graph::from_sorted_adjacency(vec![vec![1, 1], vec![0]]);
+    }
+
+    #[test]
+    fn try_from_csr_round_trips_and_rejects_corruption() {
+        let g = Graph::from_adjacency(vec![vec![1, 2], vec![2], vec![0]]);
+        let ok = Graph::try_from_csr(g.csr_offsets().to_vec(), g.csr_targets().to_vec()).unwrap();
+        assert_eq!(ok, g);
+
+        let (o, t) = (g.csr_offsets().to_vec(), g.csr_targets().to_vec());
+        assert!(Graph::try_from_csr(Vec::new(), Vec::new()).is_err());
+        // Offsets not starting at zero.
+        let mut bad = o.clone();
+        bad[0] = 1;
+        assert!(Graph::try_from_csr(bad, t.clone()).is_err());
+        // Decreasing offsets.
+        let mut bad = o.clone();
+        bad[1] = 4;
+        assert!(Graph::try_from_csr(bad, t.clone()).is_err());
+        // Final offset disagrees with the edge count.
+        let mut bad = o.clone();
+        *bad.last_mut().unwrap() = 2;
+        assert!(Graph::try_from_csr(bad, t.clone()).is_err());
+        // Out-of-range target, self-loop, unsorted row.
+        let mut bad = t.clone();
+        bad[0] = 9;
+        assert!(Graph::try_from_csr(o.clone(), bad).is_err());
+        let mut bad = t.clone();
+        bad[0] = 0; // row 0 becomes [0, 2]: self-loop
+        assert!(Graph::try_from_csr(o.clone(), bad).is_err());
+        let mut bad = t.clone();
+        bad.swap(0, 1); // row 0 becomes [2, 1]: not ascending
+        assert!(Graph::try_from_csr(o, bad).is_err());
     }
 
     #[test]

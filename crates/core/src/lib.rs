@@ -22,7 +22,13 @@
 //! * [`dynamic`] — an insert/delete extension: logarithmic rebuilding on top
 //!   of `G_net`, keeping the `(1+ε)` guarantee at all times;
 //! * [`engine`] — the parallel batched query executor: shards query batches
-//!   across a thread pool with results identical to the sequential routines.
+//!   across a thread pool with results identical to the sequential routines;
+//! * [`snapshot`] — engine persistence: `QueryEngine::save`/`load` through
+//!   the versioned `pg_store` on-disk format, with a loaded engine answering
+//!   bit-identically to the one that was saved.
+//!
+//! The crate map, the flat-storage design, and the snapshot format spec
+//! live in `ARCHITECTURE.md` at the repository root.
 //!
 //! # Quick example
 //!
@@ -52,6 +58,7 @@ pub mod merged;
 pub mod navigability;
 pub mod params;
 pub mod search;
+pub mod snapshot;
 pub mod theta;
 
 pub use dynamic::{DynamicAnswer, DynamicGNet, DynamicStats};
@@ -62,4 +69,5 @@ pub use merged::{MergedGraph, MergedParams};
 pub use navigability::{check_navigable, check_pg_exhaustive, Starts, Violation};
 pub use params::GNetParams;
 pub use search::{beam_search, greedy, query, GreedyOutcome};
+pub use snapshot::SnapshotMetric;
 pub use theta::{ConeSet, ThetaGraph};

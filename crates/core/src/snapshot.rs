@@ -1,0 +1,410 @@
+//! Engine persistence: typed save/load of a [`QueryEngine`] through the
+//! `pg_store` snapshot format.
+//!
+//! This is the wiring layer between the raw, dependency-free byte format
+//! ([`pg_store::Snapshot`]) and the typed world of this crate: a
+//! [`Graph`] plus a flat-backed [`Dataset`](pg_metric::Dataset) goes out as raw CSR and
+//! coordinate arrays, and comes back **bit-identical** — a loaded engine
+//! answers `batch_greedy` / `batch_query` / `batch_beam` exactly like the
+//! engine that was saved, across every thread count (pinned by
+//! `tests/snapshot_parity.rs` at the workspace root, mirroring
+//! `tests/flat_parity.rs`).
+//!
+//! The metric is not serialized as code, only named: the [`SnapshotMetric`]
+//! trait maps the unit metric types (`Euclidean`, `Manhattan`, `Chebyshev`)
+//! to their stable on-disk [`MetricTag`] codes, and a typed
+//! `QueryEngine::<_, M>::load` refuses a file whose tag differs from
+//! `M::TAG` with [`SnapshotError::MetricMismatch`]. Loading always yields a
+//! `FlatRow`-backed engine — flat contiguous storage is the serving layout
+//! (see `ARCHITECTURE.md` at the repository root for the byte-level format
+//! spec and the layout rationale).
+//!
+//! What is *not* stored: the net hierarchy, the thread count, and any
+//! `Counting` instrumentation. A loaded engine serves queries (which need
+//! only the graph and the points); rebuilding or extending the index needs
+//! the construction pipeline. Instrument a loaded engine by re-wrapping its
+//! dataset in `Counting` if distance accounting is required.
+//!
+//! # Example
+//!
+//! ```
+//! use pg_core::engine::QueryEngine;
+//! use pg_core::GNet;
+//! use pg_metric::{Euclidean, FlatPoints, FlatRow};
+//!
+//! let mut points = FlatPoints::new(2);
+//! for i in 0..50 {
+//!     points.push(&[i as f64, (i % 5) as f64]);
+//! }
+//! let data = points.into_dataset(Euclidean);
+//! let pg = GNet::build(&data, 1.0);
+//! let engine = QueryEngine::new(pg.graph, data);
+//!
+//! // Offline: build once, save.
+//! let path = std::env::temp_dir().join(format!("pg_snapshot_mod_{}.pgix", std::process::id()));
+//! engine.save_with(&path, 0, Some(pg.params.into())).unwrap();
+//!
+//! // Online: load and serve — answers are identical to the saved engine.
+//! let loaded: QueryEngine<FlatRow, Euclidean> = QueryEngine::load(&path).unwrap();
+//! std::fs::remove_file(&path).unwrap();
+//! let q: FlatRow = vec![17.3, 2.2].into();
+//! let a = pg_core::greedy(engine.graph(), engine.data(), 0, &q);
+//! let b = pg_core::greedy(loaded.graph(), loaded.data(), 0, &q);
+//! assert_eq!(a.result, b.result);
+//! assert_eq!(a.dist_comps, b.dist_comps);
+//! ```
+
+use std::path::Path;
+
+use pg_metric::{Chebyshev, Euclidean, FlatPoints, FlatRow, Manhattan, Metric};
+use pg_store::{BuildParams, IndexMeta, MetricTag, Snapshot, SnapshotError};
+
+use crate::engine::QueryEngine;
+use crate::graph::Graph;
+use crate::params::GNetParams;
+
+/// A metric with a stable on-disk identity ([`MetricTag`]) and a canonical
+/// instance, so snapshots can be loaded without serializing metric state.
+///
+/// Version 1 of the format covers the three stateless `L_p` metrics.
+/// Stateful wrappers (`Counting`, `Scaled`) deliberately do not implement
+/// this: persist the underlying metric and re-wrap after loading.
+pub trait SnapshotMetric {
+    /// The tag written to and checked against the file's `META` section.
+    const TAG: MetricTag;
+
+    /// The canonical instance used to reconstruct a loaded dataset.
+    fn from_tag() -> Self;
+}
+
+impl SnapshotMetric for Euclidean {
+    const TAG: MetricTag = MetricTag::Euclidean;
+
+    fn from_tag() -> Self {
+        Euclidean
+    }
+}
+
+impl SnapshotMetric for Manhattan {
+    const TAG: MetricTag = MetricTag::Manhattan;
+
+    fn from_tag() -> Self {
+        Manhattan
+    }
+}
+
+impl SnapshotMetric for Chebyshev {
+    const TAG: MetricTag = MetricTag::Chebyshev;
+
+    fn from_tag() -> Self {
+        Chebyshev
+    }
+}
+
+impl From<GNetParams> for BuildParams {
+    /// Records `(ε, η, φ)` in snapshot metadata.
+    fn from(p: GNetParams) -> Self {
+        BuildParams {
+            epsilon: p.epsilon,
+            eta: p.eta,
+            phi: p.phi,
+        }
+    }
+}
+
+impl<P: AsRef<[f64]>, M: Metric<P> + SnapshotMetric> QueryEngine<P, M> {
+    /// Extracts the raw [`Snapshot`] of this engine: the graph's CSR arrays
+    /// plus all point coordinates flattened row-major. Works for any point
+    /// layout (`FlatRow`, `Vec<f64>`, …); loading always reconstructs the
+    /// flat layout.
+    ///
+    /// `entry_point` (a suggested routing start, must be `< n`) and `build`
+    /// go into the metadata section verbatim.
+    pub fn to_snapshot(
+        &self,
+        entry_point: u32,
+        build: Option<BuildParams>,
+    ) -> Result<Snapshot, SnapshotError> {
+        let points = self.data().points();
+        // Dataset::new rejects empty point sets, so points[0] exists.
+        let dims = points[0].as_ref().len();
+        let mut coords = Vec::with_capacity(points.len() * dims);
+        for (i, p) in points.iter().enumerate() {
+            let row = p.as_ref();
+            if row.len() != dims {
+                return Err(SnapshotError::Invalid {
+                    reason: format!(
+                        "point {i} has {} coordinates, point 0 has {dims}",
+                        row.len()
+                    ),
+                });
+            }
+            coords.extend_from_slice(row);
+        }
+        let snap = Snapshot {
+            meta: IndexMeta {
+                metric: M::TAG,
+                dims: dims as u32,
+                n: points.len() as u64,
+                entry_point,
+                build,
+            },
+            offsets: self
+                .graph()
+                .csr_offsets()
+                .iter()
+                .map(|&o| o as u64)
+                .collect(),
+            targets: self.graph().csr_targets().to_vec(),
+            coords,
+        };
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Saves the engine's index to `path` with default metadata (entry
+    /// point 0, no build parameters). See [`QueryEngine::save_with`].
+    ///
+    /// ```
+    /// use pg_core::engine::QueryEngine;
+    /// use pg_core::GNet;
+    /// use pg_metric::{Euclidean, FlatPoints, FlatRow};
+    ///
+    /// let mut points = FlatPoints::new(2);
+    /// for i in 0..40 {
+    ///     points.push(&[i as f64, (i % 7) as f64]);
+    /// }
+    /// let data = points.into_dataset(Euclidean);
+    /// let pg = GNet::build(&data, 1.0);
+    /// let engine = QueryEngine::new(pg.graph, data);
+    ///
+    /// let path = std::env::temp_dir().join(format!("pg_save_doc_{}.pgix", std::process::id()));
+    /// engine.save(&path).unwrap();
+    /// let loaded: QueryEngine<FlatRow, Euclidean> = QueryEngine::load(&path).unwrap();
+    /// std::fs::remove_file(&path).unwrap();
+    /// assert_eq!(loaded.graph(), engine.graph());
+    /// ```
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.save_with(path, 0, None)
+    }
+
+    /// Saves the engine's index to `path`, recording `entry_point` and the
+    /// build parameters (if given) in the metadata section. The write is
+    /// all-or-nothing at the validation level: a structurally inconsistent
+    /// engine state is refused before any bytes hit the disk.
+    pub fn save_with(
+        &self,
+        path: impl AsRef<Path>,
+        entry_point: u32,
+        build: Option<BuildParams>,
+    ) -> Result<(), SnapshotError> {
+        self.to_snapshot(entry_point, build)?.save(path)
+    }
+}
+
+impl<M: Metric<FlatRow> + SnapshotMetric> QueryEngine<FlatRow, M> {
+    /// Loads an engine from a snapshot file saved by [`QueryEngine::save`] /
+    /// [`QueryEngine::save_with`], discarding the metadata. The loaded
+    /// engine is bit-identical to the saved one: same graph, same
+    /// coordinates, hence identical results, hops and `dist_comps` for
+    /// every query (see the module docs).
+    ///
+    /// Fails with a typed [`SnapshotError`] — never a panic — on I/O
+    /// problems, truncation, corruption, future format versions, or a
+    /// metric tag that differs from `M::TAG`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::load_with_meta(path).map(|(engine, _)| engine)
+    }
+
+    /// [`QueryEngine::load`], also returning the stored [`IndexMeta`]
+    /// (entry point, build parameters, …).
+    pub fn load_with_meta(path: impl AsRef<Path>) -> Result<(Self, IndexMeta), SnapshotError> {
+        Self::from_snapshot(Snapshot::load(path)?)
+    }
+
+    /// Reconstructs an engine from an in-memory [`Snapshot`]. The graph- and
+    /// buffer-level invariants are (re-)established here through
+    /// [`Graph::try_from_csr`] and `FlatPoints::try_from_raw` — untrusted
+    /// hand-built snapshots are as safe as files, without repeating the full
+    /// [`Snapshot::validate`] scan a file read already performed.
+    pub fn from_snapshot(snap: Snapshot) -> Result<(Self, IndexMeta), SnapshotError> {
+        if snap.meta.metric != M::TAG {
+            return Err(SnapshotError::MetricMismatch {
+                expected: M::TAG,
+                found: snap.meta.metric,
+            });
+        }
+        let Snapshot {
+            meta,
+            offsets,
+            targets,
+            coords,
+        } = snap;
+        let offsets: Vec<usize> = offsets
+            .into_iter()
+            .map(|o| {
+                o.try_into().map_err(|_| SnapshotError::Invalid {
+                    reason: format!("offset {o} exceeds addressable memory"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let graph = Graph::try_from_csr(offsets, targets)
+            .map_err(|reason| SnapshotError::Invalid { reason })?;
+        let points = FlatPoints::try_from_raw(coords, meta.dims as usize)
+            .map_err(|reason| SnapshotError::Invalid { reason })?;
+        // try_from_csr / try_from_raw cover everything but the O(1)
+        // cross-array checks, which keep the engine constructor's size
+        // assertion (and downstream uses of the metadata) panic-free.
+        if graph.n() != points.len() || meta.n != points.len() as u64 {
+            return Err(SnapshotError::Invalid {
+                reason: format!(
+                    "graph has {} vertices, meta stores n = {}, buffer holds {} points",
+                    graph.n(),
+                    meta.n,
+                    points.len()
+                ),
+            });
+        }
+        if meta.entry_point as u64 >= meta.n {
+            return Err(SnapshotError::Invalid {
+                reason: format!(
+                    "entry point {} out of range (n = {})",
+                    meta.entry_point, meta.n
+                ),
+            });
+        }
+        let data = points.into_dataset(M::from_tag());
+        Ok((QueryEngine::new(graph, data), meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnet::GNet;
+    use pg_metric::Dataset;
+
+    fn flat_engine(n: usize, seed: u64) -> (QueryEngine<FlatRow, Euclidean>, GNetParams) {
+        let points = FlatPoints::from_fn(n, 2, |i, out| {
+            let x = ((i as u64).wrapping_mul(seed.wrapping_add(31)) % 97) as f64;
+            out.push(x);
+            out.push((i % 11) as f64);
+        });
+        let data = points.into_dataset(Euclidean);
+        let g = GNet::build(&data, 1.0);
+        (QueryEngine::new(g.graph, data), g.params)
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pg_core_snap_{}_{name}.pgix", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_points_and_meta() {
+        let (engine, params) = flat_engine(80, 7);
+        let path = temp("roundtrip");
+        engine.save_with(&path, 5, Some(params.into())).unwrap();
+        let (loaded, meta) = QueryEngine::<FlatRow, Euclidean>::load_with_meta(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert_eq!(loaded.graph(), engine.graph());
+        assert_eq!(loaded.data().len(), engine.data().len());
+        for i in 0..engine.data().len() {
+            assert_eq!(
+                loaded.data().point(i).coords(),
+                engine.data().point(i).coords()
+            );
+        }
+        assert_eq!(meta.n, 80);
+        assert_eq!(meta.dims, 2);
+        assert_eq!(meta.entry_point, 5);
+        assert_eq!(meta.metric, MetricTag::Euclidean);
+        let b = meta.build.unwrap();
+        assert_eq!(b.epsilon, params.epsilon);
+        assert_eq!(b.eta, params.eta);
+        assert_eq!(b.phi, params.phi);
+    }
+
+    #[test]
+    fn nested_vec_engine_saves_and_loads_as_flat() {
+        // Saving is layout-generic: a legacy Vec<Vec<f64>> engine persists
+        // to the same format and loads back flat-backed.
+        let pts: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, (i % 9) as f64]).collect();
+        let data = Dataset::new(pts, Euclidean);
+        let g = GNet::build(&data, 1.0);
+        let engine = QueryEngine::new(g.graph, data);
+        let path = temp("nested");
+        engine.save(&path).unwrap();
+        let loaded = QueryEngine::<FlatRow, Euclidean>::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.graph(), engine.graph());
+        for i in 0..engine.data().len() {
+            assert_eq!(loaded.data().point(i).coords(), &engine.data().point(i)[..]);
+        }
+    }
+
+    #[test]
+    fn metric_mismatch_is_a_typed_error() {
+        let (engine, _) = flat_engine(40, 3);
+        let path = temp("mismatch");
+        engine.save(&path).unwrap(); // tagged L2
+        let err = QueryEngine::<FlatRow, Manhattan>::load(&path).unwrap_err();
+        match err {
+            SnapshotError::MetricMismatch { expected, found } => {
+                assert_eq!(expected, MetricTag::Manhattan);
+                assert_eq!(found, MetricTag::Euclidean);
+            }
+            other => panic!("got {other:?}"),
+        }
+        // The right metric still loads.
+        assert!(QueryEngine::<FlatRow, Euclidean>::load(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev_roundtrip_under_their_own_tags() {
+        let points = FlatPoints::from_fn(30, 3, |i, out| {
+            out.extend([(i % 7) as f64, (i % 5) as f64, i as f64]);
+        });
+        let data = points.into_dataset(Manhattan);
+        let g = GNet::build(&data, 1.0);
+        let engine = QueryEngine::new(g.graph, data);
+        let path = temp("l1");
+        engine.save(&path).unwrap();
+        let (loaded, meta) = QueryEngine::<FlatRow, Manhattan>::load_with_meta(&path).unwrap();
+        assert_eq!(meta.metric, MetricTag::Manhattan);
+        assert_eq!(loaded.graph(), engine.graph());
+        // An L∞ loader refuses the L1 file.
+        assert!(matches!(
+            QueryEngine::<FlatRow, Chebyshev>::load(&path),
+            Err(SnapshotError::MetricMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_entry_point_is_refused_at_save_time() {
+        let (engine, _) = flat_engine(20, 1);
+        let err = engine.to_snapshot(20, None).unwrap_err();
+        assert!(matches!(err, SnapshotError::Invalid { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn tampered_file_fails_loading_with_a_typed_error() {
+        // End-to-end: corrupt the saved file on disk, then load through the
+        // typed engine path — the error must be typed, not a panic.
+        let (engine, _) = flat_engine(25, 9);
+        let path = temp("tamper");
+        engine.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = QueryEngine::<FlatRow, Euclidean>::load(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(err, SnapshotError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`approx_min_dist`], the footnote-1 estimator
 //!   `d̂_min ∈ [d_min / 2, d_min]` of Section 2.4's remark.
 //!
+//! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
+//! at the repository root.
+//!
 //! All operations are measured in distance computations when the dataset's
 //! metric is wrapped in [`pg_metric::Counting`]; on doubling metrics the
 //! per-operation cost is `2^{O(λ)} log Δ`-ish, matching the role the paper's

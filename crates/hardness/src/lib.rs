@@ -13,6 +13,9 @@
 //! Both modules provide *verifiers* that turn the paper's proofs into
 //! executable checks: give them a graph that is missing a required edge and
 //! they exhibit the navigability violation the proof predicts.
+//!
+//! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

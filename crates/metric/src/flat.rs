@@ -30,6 +30,14 @@
 //! let q = FlatRow::from(vec![3.0, 0.0]);
 //! assert_eq!(data.nearest_brute(&q).0, 0);
 //! ```
+//!
+//! Generators should fill flat storage directly via [`FlatPoints::from_fn`]
+//! (the `pg_workloads` `*_flat` variants do), and serving systems should
+//! persist it: the buffer round-trips losslessly through the `pg_store`
+//! snapshot format via [`FlatPoints::as_slice`] on the way out and
+//! [`FlatPoints::try_from_raw`] on the way back. The full design rationale
+//! (why a 24-byte handle, why one shared allocation) lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 use std::sync::Arc;
 
@@ -71,6 +79,17 @@ impl FlatPoints {
     /// entry point: workloads fill flat storage directly instead of routing
     /// through `Vec<Vec<f64>>`. `f(i)` must append exactly `dim` values for
     /// point `i` (asserted).
+    ///
+    /// ```
+    /// use pg_metric::FlatPoints;
+    ///
+    /// // A 4 × 3 buffer without any intermediate per-point Vec.
+    /// let fp = FlatPoints::from_fn(4, 3, |i, out| {
+    ///     out.extend((0..3).map(|j| (i * 3 + j) as f64));
+    /// });
+    /// assert_eq!(fp.len(), 4);
+    /// assert_eq!(fp.row(2), &[6.0, 7.0, 8.0]);
+    /// ```
     pub fn from_fn(n: usize, dim: usize, mut f: impl FnMut(usize, &mut Vec<f64>)) -> Self {
         let mut fp = FlatPoints::with_capacity(n, dim);
         for i in 0..n {
@@ -126,6 +145,30 @@ impl FlatPoints {
     /// Copies out the legacy nested layout (one `Vec` per point).
     pub fn to_nested(&self) -> Vec<Vec<f64>> {
         self.rows().map(|r| r.to_vec()).collect()
+    }
+
+    /// Rebuilds a buffer from a raw row-major coordinate vector — the
+    /// deserialization entry point (`pg_store` snapshots carry exactly this
+    /// vector). Unlike the panicking constructors, untrusted input gets a
+    /// typed rejection: the length must be a non-zero multiple of `dim`,
+    /// `dim >= 1`, and every value finite.
+    pub fn try_from_raw(data: Vec<f64>, dim: usize) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("dimension must be at least 1".into());
+        }
+        if data.is_empty() {
+            return Err("coordinate buffer is empty".into());
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(format!(
+                "coordinate buffer length {} is not a multiple of dim = {dim}",
+                data.len()
+            ));
+        }
+        if data.iter().any(|c| !c.is_finite()) {
+            return Err("non-finite coordinate".into());
+        }
+        Ok(FlatPoints { data, dim })
     }
 
     /// Converts into per-point [`FlatRow`] handles that all share one
@@ -312,6 +355,18 @@ mod tests {
         }
         let q = FlatRow::from(vec![3.1, 3.9]);
         assert_eq!(flat.nearest_brute(&q).0, 1);
+    }
+
+    #[test]
+    fn try_from_raw_round_trips_and_rejects_bad_input() {
+        let fp = FlatPoints::from(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let back = FlatPoints::try_from_raw(fp.as_slice().to_vec(), fp.dim()).unwrap();
+        assert_eq!(back, fp);
+        assert!(FlatPoints::try_from_raw(vec![1.0, 2.0], 0).is_err());
+        assert!(FlatPoints::try_from_raw(Vec::new(), 2).is_err());
+        assert!(FlatPoints::try_from_raw(vec![1.0, 2.0, 3.0], 2).is_err());
+        assert!(FlatPoints::try_from_raw(vec![1.0, f64::INFINITY], 2).is_err());
+        assert!(FlatPoints::try_from_raw(vec![1.0, f64::NAN], 2).is_err());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * aspect-ratio utilities ([`aspect`]), including the approximation
 //!   `d̂_max ∈ [d_max, 2 d_max]` from the remark of Section 2.4;
 //! * empirical doubling-dimension estimators ([`doubling`]).
+//!
+//! The flat-storage design and the surrogate-comparison semantics are
+//! documented in depth in `ARCHITECTURE.md` at the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

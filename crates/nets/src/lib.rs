@@ -28,6 +28,9 @@
 //! [`RelativesCascade`] generalizes the friends lists to any radius factor
 //! `K >= 4`; `pg-core` uses it with `K = φ + 1` to enumerate the out-edges of
 //! `G_net` without scanning whole levels.
+//!
+//! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
+//! at the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

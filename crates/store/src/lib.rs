@@ -1,0 +1,864 @@
+//! Versioned on-disk index snapshots — the durable boundary between
+//! offline construction and online serving.
+//!
+//! The paper's pipeline is build-once, query-many: constructing `G_net`
+//! (Theorem 1.1) is the expensive phase, while queries are cheap greedy
+//! walks. A serving system therefore builds the index offline, persists it,
+//! and loads it for online traffic — this crate defines that persistence
+//! layer as a small, hand-rolled binary format over `std::io` with **no
+//! external dependencies** (the build environment has no crates.io access;
+//! see `crates/compat/README.md`).
+//!
+//! A [`Snapshot`] is the raw, serialization-ready view of an index:
+//!
+//! * [`IndexMeta`] — metric tag, dimensionality, point count, entry point,
+//!   and optional build parameters (`ε`, `η`, `φ`);
+//! * the CSR graph arrays (`offsets`, `targets`) exactly as `pg_core`'s
+//!   `Graph` stores them;
+//! * the flat row-major coordinate buffer exactly as `pg_metric`'s
+//!   `FlatPoints` stores it.
+//!
+//! This crate depends on nothing and knows nothing about graphs or metrics
+//! beyond these raw arrays; `pg_core::snapshot` does the typed wiring
+//! (`QueryEngine::save` / `QueryEngine::load`) and re-validates the
+//! graph-level invariants on load.
+//!
+//! # File format (version 1)
+//!
+//! Everything is **little-endian**. The byte-level layout table lives in
+//! `ARCHITECTURE.md` at the repository root (§ "Index snapshots"); in
+//! brief: an 16-byte header (magic `PGIXSNAP`, `format_version`,
+//! `section_count`), followed by three framed sections (`META`, `GRPH`,
+//! `PNTS`) in that fixed order, each carrying its payload length and an
+//! FNV-1a 64 checksum ([`checksum`]) of the payload.
+//!
+//! Corrupt, truncated, or incompatible files **never panic and never yield
+//! a partially-read index**: every failure is a typed [`SnapshotError`],
+//! and a [`Snapshot`] is only returned after all checksums and structural
+//! cross-checks pass.
+//!
+//! ```
+//! use pg_store::{BuildParams, IndexMeta, MetricTag, Snapshot};
+//!
+//! let snap = Snapshot {
+//!     meta: IndexMeta {
+//!         metric: MetricTag::Euclidean,
+//!         dims: 2,
+//!         n: 3,
+//!         entry_point: 0,
+//!         build: Some(BuildParams { epsilon: 1.0, eta: 2, phi: 9.0 }),
+//!     },
+//!     offsets: vec![0, 2, 3, 4],
+//!     targets: vec![1, 2, 0, 0],
+//!     coords: vec![0.0, 0.0, 3.0, 4.0, 0.0, 1.0],
+//! };
+//! let bytes = snap.to_bytes().unwrap();
+//! let back = Snapshot::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, snap);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::Path;
+
+/// The 8-byte magic prefix of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"PGIXSNAP";
+
+/// The snapshot format version this crate reads and writes.
+///
+/// Versioning rule: readers accept exactly the versions they know (currently
+/// `1`) and reject anything newer with
+/// [`SnapshotError::UnsupportedVersion`] — a new layout means a version
+/// bump, never a silent reinterpretation of old bytes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Bytes of the fixed file header: magic + `format_version` +
+/// `section_count`.
+pub const HEADER_LEN: usize = 8 + 4 + 4;
+
+/// Bytes of a section frame preceding each payload: 4-byte ASCII tag +
+/// `payload_len: u64` + `checksum: u64`.
+pub const SECTION_HEADER_LEN: usize = 4 + 8 + 8;
+
+/// FNV-1a 64-bit hash — the per-section checksum function of the format.
+///
+/// Chosen because it is tiny, dependency-free, byte-order independent and
+/// fully specified (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`), so independent implementations of the format can
+/// reproduce it exactly.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Identifies which metric an index was built under.
+///
+/// Version 1 covers the three `L_p` metrics the experiments run on; new
+/// metrics append new codes (existing codes are frozen forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricTag {
+    /// `L_2` (code 0) — `pg_metric::Euclidean`.
+    Euclidean,
+    /// `L_1` (code 1) — `pg_metric::Manhattan`.
+    Manhattan,
+    /// `L_inf` (code 2) — `pg_metric::Chebyshev`.
+    Chebyshev,
+}
+
+impl MetricTag {
+    /// The on-disk `u32` code.
+    pub fn code(self) -> u32 {
+        match self {
+            MetricTag::Euclidean => 0,
+            MetricTag::Manhattan => 1,
+            MetricTag::Chebyshev => 2,
+        }
+    }
+
+    /// Decodes an on-disk code, `None` for unknown codes.
+    pub fn from_code(code: u32) -> Option<Self> {
+        match code {
+            0 => Some(MetricTag::Euclidean),
+            1 => Some(MetricTag::Manhattan),
+            2 => Some(MetricTag::Chebyshev),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MetricTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricTag::Euclidean => write!(f, "L2 (Euclidean)"),
+            MetricTag::Manhattan => write!(f, "L1 (Manhattan)"),
+            MetricTag::Chebyshev => write!(f, "Linf (Chebyshev)"),
+        }
+    }
+}
+
+/// The three sections of a version-1 snapshot, in file order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionTag {
+    /// `META`: index metadata ([`IndexMeta`]).
+    Meta,
+    /// `GRPH`: the CSR graph arrays.
+    Graph,
+    /// `PNTS`: the flat coordinate buffer.
+    Points,
+}
+
+impl SectionTag {
+    /// The 4-byte ASCII tag written to disk.
+    pub fn bytes(self) -> [u8; 4] {
+        match self {
+            SectionTag::Meta => *b"META",
+            SectionTag::Graph => *b"GRPH",
+            SectionTag::Points => *b"PNTS",
+        }
+    }
+}
+
+impl fmt::Display for SectionTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bytes();
+        write!(f, "{}", std::str::from_utf8(&b).unwrap())
+    }
+}
+
+/// The `G_net` build parameters recorded in a snapshot (Eqs. 3–4 of the
+/// paper), so a loaded index knows the guarantee it was built for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildParams {
+    /// The approximation slack `ε ∈ (0, 1]` — greedy on the stored graph
+    /// returns a `(1+ε)`-ANN.
+    pub epsilon: f64,
+    /// `η = ceil(log2(1 + 2/ε))` (Eq. 3).
+    pub eta: u32,
+    /// `φ = 1 + 2^{η+1}` (Eq. 4).
+    pub phi: f64,
+}
+
+/// Index metadata: everything about a stored index that is not the graph or
+/// the coordinates themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexMeta {
+    /// The metric the index was built under. Typed loaders refuse a
+    /// mismatching file (`SnapshotError::MetricMismatch`).
+    pub metric: MetricTag,
+    /// Point dimensionality `d` (row stride of the coordinate buffer).
+    pub dims: u32,
+    /// Number of points `n` (and graph vertices).
+    pub n: u64,
+    /// Suggested start vertex for greedy routing (e.g. a top-level net
+    /// center). Always a valid id `< n`; writers that track no entry point
+    /// store `0`.
+    pub entry_point: u32,
+    /// Build parameters, if the writer recorded them.
+    pub build: Option<BuildParams>,
+}
+
+/// Everything a snapshot stores, in memory: metadata plus the raw CSR and
+/// coordinate arrays. See the module docs for the invariants
+/// ([`Snapshot::validate`] checks them on both the write and the read path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Index metadata.
+    pub meta: IndexMeta,
+    /// CSR row offsets, length `n + 1`, `offsets[0] == 0`, non-decreasing,
+    /// `offsets[n] == targets.len()`.
+    pub offsets: Vec<u64>,
+    /// CSR edge targets (out-neighbor ids, each `< n`). Graph-level
+    /// invariants (per-row sortedness, no self-loops) are re-validated by
+    /// the typed loader in `pg_core`.
+    pub targets: Vec<u32>,
+    /// Row-major `n × dims` coordinate buffer, all values finite.
+    pub coords: Vec<f64>,
+}
+
+/// Every way reading or writing a snapshot can fail. No variant is ever
+/// produced by panicking, and no partially-read index escapes: a failed
+/// [`Snapshot::from_bytes`] returns nothing but the error.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with the [`MAGIC`] bytes — not a snapshot.
+    BadMagic,
+    /// The file's `format_version` is newer than this reader supports.
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The data ended before a complete structure could be read.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's stored checksum does not match its payload.
+    ChecksumMismatch {
+        /// The section whose payload is corrupt.
+        section: SectionTag,
+    },
+    /// A typed loader asked for one metric but the file stores another.
+    MetricMismatch {
+        /// The metric the loader expected.
+        expected: MetricTag,
+        /// The metric recorded in the file.
+        found: MetricTag,
+    },
+    /// The bytes parse but violate a structural invariant (unknown codes,
+    /// inconsistent counts, non-monotone offsets, out-of-range ids, …).
+    Invalid {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic => {
+                write!(f, "not a proximity-graphs index snapshot (bad magic)")
+            }
+            SnapshotError::UnsupportedVersion { found } => write!(
+                f,
+                "snapshot format version {found} is newer than the supported version {FORMAT_VERSION}"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            SnapshotError::MetricMismatch { expected, found } => write!(
+                f,
+                "metric mismatch: loader expected {expected}, snapshot stores {found}"
+            ),
+            SnapshotError::Invalid { reason } => write!(f, "invalid snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> SnapshotError {
+    SnapshotError::Invalid {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Snapshot {
+    /// Serializes into the version-1 byte layout. Runs [`Snapshot::validate`]
+    /// first, so a structurally broken `Snapshot` is refused at write time
+    /// rather than producing an unreadable file.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.validate()?;
+
+        let meta = self.encode_meta();
+        let graph = self.encode_graph();
+        let points = self.encode_points();
+
+        let total = HEADER_LEN + 3 * SECTION_HEADER_LEN + meta.len() + graph.len() + points.len();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        push_u32(&mut out, FORMAT_VERSION);
+        push_u32(&mut out, 3); // section count
+        for (tag, payload) in [
+            (SectionTag::Meta, &meta),
+            (SectionTag::Graph, &graph),
+            (SectionTag::Points, &points),
+        ] {
+            out.extend_from_slice(&tag.bytes());
+            push_u64(&mut out, payload.len() as u64);
+            push_u64(&mut out, checksum(payload));
+            out.extend_from_slice(payload);
+        }
+        Ok(out)
+    }
+
+    /// Serializes into an [`std::io::Write`] sink (one buffered write of the
+    /// full encoding).
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes()?;
+        w.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Writes the snapshot to `path`, creating or overwriting the file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(44);
+        push_u32(&mut p, self.meta.metric.code());
+        push_u32(&mut p, self.meta.dims);
+        push_u64(&mut p, self.meta.n);
+        push_u32(&mut p, self.meta.entry_point);
+        push_u32(&mut p, self.meta.build.is_some() as u32);
+        let b = self.meta.build.unwrap_or(BuildParams {
+            epsilon: 0.0,
+            eta: 0,
+            phi: 0.0,
+        });
+        push_f64(&mut p, b.epsilon);
+        push_u32(&mut p, b.eta);
+        push_f64(&mut p, b.phi);
+        p
+    }
+
+    fn encode_graph(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(16 + 8 * self.offsets.len() + 4 * self.targets.len());
+        push_u64(&mut p, self.meta.n);
+        push_u64(&mut p, self.targets.len() as u64);
+        for &o in &self.offsets {
+            push_u64(&mut p, o);
+        }
+        for &t in &self.targets {
+            push_u32(&mut p, t);
+        }
+        p
+    }
+
+    fn encode_points(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(12 + 8 * self.coords.len());
+        push_u64(&mut p, self.meta.n);
+        push_u32(&mut p, self.meta.dims);
+        for &c in &self.coords {
+            push_f64(&mut p, c);
+        }
+        p
+    }
+
+    /// Checks every structural invariant of the snapshot (see the field docs
+    /// on [`Snapshot`] and [`IndexMeta`]). Called on both the write and the
+    /// read path, so files on disk and snapshots handed to `pg_core` are
+    /// equally vetted.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        let n = self.meta.n;
+        if n == 0 {
+            return Err(invalid("index holds zero points"));
+        }
+        if self.meta.dims == 0 {
+            return Err(invalid("dimensionality must be at least 1"));
+        }
+        if self.offsets.len() as u64 != n + 1 {
+            return Err(invalid(format!(
+                "offsets length {} does not match n + 1 = {}",
+                self.offsets.len(),
+                n + 1
+            )));
+        }
+        if self.offsets[0] != 0 {
+            return Err(invalid("offsets must start at 0"));
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("offsets must be non-decreasing"));
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() as u64 {
+            return Err(invalid(format!(
+                "final offset {} does not match edge count {}",
+                self.offsets.last().unwrap(),
+                self.targets.len()
+            )));
+        }
+        if let Some(&t) = self.targets.iter().find(|&&t| t as u64 >= n) {
+            return Err(invalid(format!("edge target {t} out of range (n = {n})")));
+        }
+        if self.meta.entry_point as u64 >= n {
+            return Err(invalid(format!(
+                "entry point {} out of range (n = {n})",
+                self.meta.entry_point
+            )));
+        }
+        let expect_coords = n
+            .checked_mul(self.meta.dims as u64)
+            .ok_or_else(|| invalid("n * dims overflows"))?;
+        if self.coords.len() as u64 != expect_coords {
+            return Err(invalid(format!(
+                "coordinate buffer holds {} values, expected n * dims = {expect_coords}",
+                self.coords.len()
+            )));
+        }
+        if self.coords.iter().any(|c| !c.is_finite()) {
+            return Err(invalid("non-finite coordinate"));
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------------
+    // Reading
+    // -----------------------------------------------------------------------
+
+    /// Parses a snapshot from bytes. Never panics: truncation, corruption,
+    /// unknown versions and structural violations all surface as the
+    /// matching [`SnapshotError`] variant, and nothing is returned unless
+    /// the whole file — header, all three checksums, all cross-checks —
+    /// verifies.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+
+        let magic = cur.take(8, "magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = cur.u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let sections = cur.u32("section count")?;
+        if sections != 3 {
+            return Err(invalid(format!(
+                "version 1 snapshots have exactly 3 sections, found {sections}"
+            )));
+        }
+
+        let meta_payload = cur.section(SectionTag::Meta)?;
+        let graph_payload = cur.section(SectionTag::Graph)?;
+        let points_payload = cur.section(SectionTag::Points)?;
+        if cur.pos != bytes.len() {
+            return Err(invalid(format!(
+                "{} trailing bytes after the last section",
+                bytes.len() - cur.pos
+            )));
+        }
+
+        let meta = decode_meta(meta_payload)?;
+        let (offsets, targets) = decode_graph(graph_payload, &meta)?;
+        let coords = decode_points(points_payload, &meta)?;
+
+        let snap = Snapshot {
+            meta,
+            offsets,
+            targets,
+            coords,
+        };
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Reads a snapshot from an [`std::io::Read`] source (reads to end, then
+    /// parses).
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Snapshot, SnapshotError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Snapshot::from_bytes(&bytes)
+    }
+
+    /// Loads a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::from_bytes(&bytes)
+    }
+
+    /// Approximate in-memory footprint of the index this snapshot describes
+    /// (CSR arrays as `pg_core::Graph` holds them, the coordinate buffer,
+    /// and one 24-byte `FlatRow` handle per point) — the comparison partner
+    /// for the on-disk size in `exp_snapshot`.
+    pub fn in_memory_bytes(&self) -> u64 {
+        let usize_bytes = std::mem::size_of::<usize>() as u64;
+        (self.offsets.len() as u64) * usize_bytes
+            + (self.targets.len() as u64) * 4
+            + (self.coords.len() as u64) * 8
+            + self.meta.n * 24
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        if self.bytes.len() - self.pos < len {
+            return Err(SnapshotError::Truncated { context });
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads one section frame: verifies the tag and the payload checksum,
+    /// returns the payload slice.
+    fn section(&mut self, expect: SectionTag) -> Result<&'a [u8], SnapshotError> {
+        let tag = self.take(4, "section tag")?;
+        if tag != expect.bytes() {
+            return Err(invalid(format!(
+                "expected section {expect}, found tag {:?}",
+                tag
+            )));
+        }
+        let len = self.u64("section length")?;
+        let len: usize = len
+            .try_into()
+            .map_err(|_| invalid("section length exceeds addressable memory"))?;
+        let stored = self.u64("section checksum")?;
+        let payload = self.take(len, "section payload")?;
+        if checksum(payload) != stored {
+            return Err(SnapshotError::ChecksumMismatch { section: expect });
+        }
+        Ok(payload)
+    }
+}
+
+fn decode_meta(payload: &[u8]) -> Result<IndexMeta, SnapshotError> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let metric_code = cur.u32("metric tag")?;
+    let metric = MetricTag::from_code(metric_code)
+        .ok_or_else(|| invalid(format!("unknown metric tag code {metric_code}")))?;
+    let dims = cur.u32("dims")?;
+    let n = cur.u64("n")?;
+    let entry_point = cur.u32("entry point")?;
+    let has_build = cur.u32("build-params flag")?;
+    if has_build > 1 {
+        return Err(invalid(format!(
+            "build-params flag must be 0 or 1, found {has_build}"
+        )));
+    }
+    let epsilon = f64::from_bits(cur.u64("epsilon")?);
+    let eta = cur.u32("eta")?;
+    let phi = f64::from_bits(cur.u64("phi")?);
+    if cur.pos != payload.len() {
+        return Err(invalid("META section has trailing bytes"));
+    }
+    let build = (has_build == 1).then_some(BuildParams { epsilon, eta, phi });
+    Ok(IndexMeta {
+        metric,
+        dims,
+        n,
+        entry_point,
+        build,
+    })
+}
+
+fn decode_graph(payload: &[u8], meta: &IndexMeta) -> Result<(Vec<u64>, Vec<u32>), SnapshotError> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let n = cur.u64("graph n")?;
+    if n != meta.n {
+        return Err(invalid(format!(
+            "GRPH section stores n = {n}, META stores n = {}",
+            meta.n
+        )));
+    }
+    let edges = cur.u64("edge count")?;
+    let rows: usize = (n + 1)
+        .try_into()
+        .map_err(|_| invalid("n + 1 exceeds addressable memory"))?;
+    let edges: usize = edges
+        .try_into()
+        .map_err(|_| invalid("edge count exceeds addressable memory"))?;
+    // Exact-size check before any allocation: a corrupt count cannot force
+    // an oversized buffer.
+    let expect = 16usize
+        .checked_add(
+            rows.checked_mul(8)
+                .ok_or_else(|| invalid("offsets size overflows"))?,
+        )
+        .and_then(|b| b.checked_add(edges.checked_mul(4)?))
+        .ok_or_else(|| invalid("GRPH section size overflows"))?;
+    if payload.len() != expect {
+        return Err(invalid(format!(
+            "GRPH section holds {} bytes, counts imply {expect}",
+            payload.len()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        offsets.push(cur.u64("offset")?);
+    }
+    let mut targets = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        targets.push(cur.u32("edge target")?);
+    }
+    Ok((offsets, targets))
+}
+
+fn decode_points(payload: &[u8], meta: &IndexMeta) -> Result<Vec<f64>, SnapshotError> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let n = cur.u64("points n")?;
+    if n != meta.n {
+        return Err(invalid(format!(
+            "PNTS section stores n = {n}, META stores n = {}",
+            meta.n
+        )));
+    }
+    let dims = cur.u32("points dims")?;
+    if dims != meta.dims {
+        return Err(invalid(format!(
+            "PNTS section stores dims = {dims}, META stores dims = {}",
+            meta.dims
+        )));
+    }
+    let count: usize = n
+        .checked_mul(dims as u64)
+        .and_then(|c| c.try_into().ok())
+        .ok_or_else(|| invalid("n * dims exceeds addressable memory"))?;
+    let expect = 12usize
+        .checked_add(
+            count
+                .checked_mul(8)
+                .ok_or_else(|| invalid("coords size overflows"))?,
+        )
+        .ok_or_else(|| invalid("PNTS section size overflows"))?;
+    if payload.len() != expect {
+        return Err(invalid(format!(
+            "PNTS section holds {} bytes, counts imply {expect}",
+            payload.len()
+        )));
+    }
+    let mut coords = Vec::with_capacity(count);
+    for _ in 0..count {
+        coords.push(f64::from_bits(cur.u64("coordinate")?));
+    }
+    Ok(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            meta: IndexMeta {
+                metric: MetricTag::Euclidean,
+                dims: 2,
+                n: 3,
+                entry_point: 1,
+                build: Some(BuildParams {
+                    epsilon: 1.0,
+                    eta: 2,
+                    phi: 9.0,
+                }),
+            },
+            offsets: vec![0, 2, 3, 4],
+            targets: vec![1, 2, 0, 0],
+            coords: vec![0.0, 0.0, 3.0, 4.0, -1.5, 0.25],
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes_is_lossless() {
+        let snap = sample();
+        let bytes = snap.to_bytes().unwrap();
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn roundtrip_without_build_params() {
+        let mut snap = sample();
+        snap.meta.build = None;
+        let bytes = snap.to_bytes().unwrap();
+        assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn roundtrip_through_io_traits() {
+        let snap = sample();
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let mut reader = &buf[..];
+        assert_eq!(Snapshot::read_from(&mut reader).unwrap(), snap);
+    }
+
+    #[test]
+    fn roundtrip_through_a_file() {
+        let snap = sample();
+        let path = std::env::temp_dir().join(format!("pg_store_unit_{}.pgix", std::process::id()));
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Snapshot::load("/definitely/not/a/real/path.pgix").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn metric_tag_codes_are_stable() {
+        for tag in [
+            MetricTag::Euclidean,
+            MetricTag::Manhattan,
+            MetricTag::Chebyshev,
+        ] {
+            assert_eq!(MetricTag::from_code(tag.code()), Some(tag));
+        }
+        assert_eq!(MetricTag::Euclidean.code(), 0);
+        assert_eq!(MetricTag::Manhattan.code(), 1);
+        assert_eq!(MetricTag::Chebyshev.code(), 2);
+        assert_eq!(MetricTag::from_code(3), None);
+    }
+
+    #[test]
+    fn checksum_matches_fnv1a_test_vectors() {
+        // Published FNV-1a 64 vectors.
+        assert_eq!(checksum(b""), 0xcbf29ce484222325);
+        assert_eq!(checksum(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(checksum(b"foobar"), 0x85944171f73967e8);
+    }
+
+    type Mutation = Box<dyn Fn(&mut Snapshot)>;
+
+    #[test]
+    fn validate_rejects_structural_violations() {
+        let ok = sample();
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("zero points", Box::new(|s| s.meta.n = 0)),
+            ("zero dims", Box::new(|s| s.meta.dims = 0)),
+            (
+                "offsets length",
+                Box::new(|s| s.offsets.pop().map(|_| ()).unwrap()),
+            ),
+            ("offsets start", Box::new(|s| s.offsets[0] = 1)),
+            ("offsets monotone", Box::new(|s| s.offsets[1] = 5)),
+            (
+                "final offset",
+                Box::new(|s| *s.offsets.last_mut().unwrap() = 7),
+            ),
+            ("target range", Box::new(|s| s.targets[0] = 3)),
+            ("entry point", Box::new(|s| s.meta.entry_point = 3)),
+            ("coords length", Box::new(|s| s.coords.push(0.0))),
+            ("non-finite", Box::new(|s| s.coords[0] = f64::NAN)),
+        ];
+        for (name, mutate) in cases {
+            let mut bad = ok.clone();
+            mutate(&mut bad);
+            let err = bad.validate().unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Invalid { .. }),
+                "case {name}: got {err:?}"
+            );
+            // The write path refuses the same snapshot.
+            assert!(bad.to_bytes().is_err(), "case {name}: to_bytes accepted");
+        }
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SnapshotError::UnsupportedVersion { found: 9 };
+        assert!(e.to_string().contains("version 9"));
+        let e = SnapshotError::MetricMismatch {
+            expected: MetricTag::Euclidean,
+            found: MetricTag::Manhattan,
+        };
+        assert!(e.to_string().contains("L2"));
+        assert!(e.to_string().contains("L1"));
+        let e = SnapshotError::ChecksumMismatch {
+            section: SectionTag::Points,
+        };
+        assert!(e.to_string().contains("PNTS"));
+    }
+
+    #[test]
+    fn in_memory_bytes_counts_all_three_arrays() {
+        let snap = sample();
+        let usize_bytes = std::mem::size_of::<usize>() as u64;
+        assert_eq!(
+            snap.in_memory_bytes(),
+            4 * usize_bytes + 4 * 4 + 6 * 8 + 3 * 24
+        );
+    }
+}

@@ -21,6 +21,9 @@
 //!
 //! All generators take an explicit seed and are deterministic.
 //!
+//! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
+//! at the repository root.
+//!
 //! # Layouts
 //!
 //! Every generator fills contiguous [`FlatPoints`] storage directly — the

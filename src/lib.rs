@@ -16,6 +16,11 @@
 //! | [`baselines`] | brute force, slow-preprocessing DiskANN, Vamana, HNSW, NSW |
 //! | [`hardness`] | the executable lower-bound instances of Theorem 1.2 (Sections 3–4) with adversarial verifiers |
 //! | [`workloads`] | seeded dataset and query generators |
+//! | [`store`] | versioned on-disk index snapshots (`QueryEngine::save`/`load` live in [`core::snapshot`]) |
+//!
+//! The architecture — crate dependency diagram, flat-storage design,
+//! surrogate-comparison semantics, compat-shim policy, and the snapshot
+//! format spec — is documented in `ARCHITECTURE.md` at the repository root.
 //!
 //! ## Quickstart
 //!
@@ -81,6 +86,43 @@
 //! (`workloads::uniform_cube_flat(..).into_dataset(Euclidean)`): identical
 //! results and distance counts (pinned by `tests/flat_parity.rs`), better
 //! cache behavior on every scan — see README § Performance.
+//!
+//! ## Index snapshots: build once, serve forever
+//!
+//! Construction is the expensive phase; queries are cheap greedy walks.
+//! [`QueryEngine::save`](core::QueryEngine::save) persists the index
+//! (graph, flat points, metadata) to the versioned [`store`] format, and
+//! [`QueryEngine::load`](core::QueryEngine::load) reconstructs an engine
+//! that answers **bit-identically** to the one that was saved (pinned by
+//! `tests/snapshot_parity.rs` across thread counts). Corrupt, truncated, or
+//! incompatible files fail with typed [`store::SnapshotError`]s, never
+//! panics:
+//!
+//! ```
+//! use proximity_graphs::core::{GNet, QueryEngine};
+//! use proximity_graphs::metric::{Euclidean, FlatRow};
+//! use proximity_graphs::workloads;
+//!
+//! let data = workloads::uniform_cube_flat(300, 2, 70.0, 9).into_dataset(Euclidean);
+//! let pg = GNet::build(&data, 1.0);
+//! let engine = QueryEngine::new(pg.graph, data);
+//!
+//! // Offline: save the built index.
+//! let path = std::env::temp_dir().join(format!("pg_facade_doc_{}.pgix", std::process::id()));
+//! engine.save_with(&path, 0, Some(pg.params.into())).unwrap();
+//!
+//! // Online: load and serve — identical answers, no rebuild.
+//! let loaded: QueryEngine<FlatRow, Euclidean> = QueryEngine::load(&path).unwrap();
+//! std::fs::remove_file(&path).unwrap();
+//! let queries = workloads::uniform_queries_flat(8, 2, 0.0, 70.0, 10).into_rows();
+//! let starts = vec![0u32; 8];
+//! let a = engine.batch_greedy(&starts, &queries);
+//! let b = loaded.batch_greedy(&starts, &queries);
+//! assert_eq!(a.dist_comps, b.dist_comps);
+//! for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+//!     assert_eq!(x.result, y.result);
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -91,4 +133,5 @@ pub use pg_covertree as covertree;
 pub use pg_hardness as hardness;
 pub use pg_metric as metric;
 pub use pg_nets as nets;
+pub use pg_store as store;
 pub use pg_workloads as workloads;
