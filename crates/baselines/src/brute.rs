@@ -1,10 +1,19 @@
 //! Brute-force exact nearest neighbor — the recall ground truth and the
 //! `Ω(n)`-query-time end of the trade-off spectrum.
+//!
+//! Top-`k` brute force (the ground truth of the `pg_eval` frontier sweeps)
+//! lives on the dataset itself ([`Dataset::k_nearest_brute`]) and behind
+//! the uniform sweep interface as [`BruteIndex`](crate::BruteIndex); this
+//! module keeps the paper-shaped single-NN entry point. All three report
+//! the same `(dist, id)`-ascending order and cost exactly `n` distance
+//! computations per query.
 
 use pg_metric::{Dataset, Metric};
 
 /// Exact nearest neighbor by linear scan. Returns `(id, distance,
-/// distance_computations)`; the last component is always `n`.
+/// distance_computations)`; the last component is always `n`. Ties break by
+/// smaller id (the first minimum the scan meets), consistent with
+/// [`Dataset::k_nearest_brute`] and the graph searches.
 pub fn brute_force_nn<P, M: Metric<P>>(data: &Dataset<P, M>, q: &P) -> (u32, f64, u64) {
     let (id, d) = data.nearest_brute(q);
     (id as u32, d, data.len() as u64)

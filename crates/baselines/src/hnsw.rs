@@ -10,7 +10,7 @@
 //! bidirectional edges and degree capping (`M_max`, `2M` on the ground
 //! layer).
 
-use pg_core::Graph;
+use pg_core::{BeamOutcome, Graph};
 use pg_metric::{Dataset, Metric};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -147,9 +147,32 @@ impl Hnsw {
         index
     }
 
-    /// Searches for the `k` nearest neighbors with beam width `ef`.
-    /// Returns results ascending by distance and the distance-computation
-    /// count (when `data`'s metric is wrapped in `Counting`, both agree).
+    /// Searches for the `k` nearest neighbors of `q`.
+    ///
+    /// Standard two-phase HNSW search: a greedy (`ef = 1`) descent through
+    /// every layer above the ground layer, then one `SEARCH-LAYER` beam on
+    /// layer 0.
+    ///
+    /// **`ef` semantics.** `ef` is the ground-layer beam width — the size of
+    /// the best-candidates set the beam maintains, *not* the result count.
+    /// The effective width is `ef.max(k)` (a beam narrower than `k` could
+    /// not hold `k` results), so `ef` values below `k` are equivalent to
+    /// `ef = k`. Raising `ef` trades distance computations for recall; `ef`
+    /// does not affect the descent phase.
+    ///
+    /// **Ordering and tie-breaking.** Results are ascending by true
+    /// distance with ties broken by smaller id — the same `(dist, id)`
+    /// order as [`pg_metric::Dataset::k_nearest_brute`] and
+    /// [`pg_core::beam_search`], so result lists are directly comparable
+    /// across index families and against brute-force ground truth. The
+    /// frontier/result heaps use the same tie rule internally, which makes
+    /// the whole search deterministic: equal-distance candidates at the
+    /// beam boundary are kept or dropped by id, never by heap insertion
+    /// order.
+    ///
+    /// Returns results and the distance-computation count (when `data`'s
+    /// metric is wrapped in `Counting`, both agree). [`Hnsw::search_detailed`]
+    /// additionally reports the expansion count.
     pub fn search<P, M: Metric<P>>(
         &self,
         data: &Dataset<P, M>,
@@ -157,16 +180,41 @@ impl Hnsw {
         ef: usize,
         k: usize,
     ) -> (Vec<(u32, f64)>, u64) {
+        let out = self.search_detailed(data, q, ef, k);
+        (out.results, out.dist_comps)
+    }
+
+    /// [`Hnsw::search`] with full per-query accounting: identical results
+    /// and `dist_comps` (the plain method delegates here), plus the number
+    /// of expanded vertices — every greedy step of the descent phase and
+    /// every ground-layer vertex whose neighbor list the beam scanned. This
+    /// is the [`BeamOutcome`] detail the evaluation layer (`pg_eval`)
+    /// scores, making HNSW sweepable through the same
+    /// [`SweepSearch`](crate::SweepSearch) interface as the graph indexes.
+    pub fn search_detailed<P, M: Metric<P>>(
+        &self,
+        data: &Dataset<P, M>,
+        q: &P,
+        ef: usize,
+        k: usize,
+    ) -> BeamOutcome {
         let mut comps: u64 = 0;
+        let mut expansions: u64 = 0;
         let mut cur = self.entry;
         for lvl in (1..self.layers.len()).rev() {
-            cur = greedy_layer_counting(data, &self.layers[lvl], cur, q, &mut comps);
+            cur =
+                greedy_layer_detailed(data, &self.layers[lvl], cur, q, &mut comps, &mut expansions);
         }
-        let (found, c) = search_layer_counting(data, &self.layers[0], &[cur], q, ef.max(k));
+        let (found, c, e) = search_layer_detailed(data, &self.layers[0], &[cur], q, ef.max(k));
         comps += c;
+        expansions += e;
         let mut out: Vec<(u32, f64)> = found.into_iter().map(|(d, v)| (v, d)).collect();
         out.truncate(k);
-        (out, comps)
+        BeamOutcome {
+            results: out,
+            dist_comps: comps,
+            expansions,
+        }
     }
 
     /// The ground layer as an immutable [`Graph`] (for degree statistics
@@ -212,21 +260,27 @@ fn greedy_layer<P, M: Metric<P>>(
     q: &P,
 ) -> u32 {
     let mut comps = 0u64;
-    greedy_layer_counting(data, layer, start, q, &mut comps)
+    let mut expansions = 0u64;
+    greedy_layer_detailed(data, layer, start, q, &mut comps, &mut expansions)
 }
 
-fn greedy_layer_counting<P, M: Metric<P>>(
+/// One greedy descent step sequence with full accounting: `expansions`
+/// counts neighbor-list scans (one per vertex the walk stands on), the
+/// layered analogue of a graph-walk hop.
+fn greedy_layer_detailed<P, M: Metric<P>>(
     data: &Dataset<P, M>,
     layer: &[Vec<u32>],
     start: u32,
     q: &P,
     comps: &mut u64,
+    expansions: &mut u64,
 ) -> u32 {
     let mut cur = start;
     *comps += 1;
     let mut d_cur = data.dist_to(cur as usize, q);
     loop {
         let mut improved = false;
+        *expansions += 1;
         for &nb in &layer[cur as usize] {
             *comps += 1;
             let d = data.dist_to(nb as usize, q);
@@ -251,17 +305,18 @@ fn search_layer<P, M: Metric<P>>(
     q: &P,
     ef: usize,
 ) -> Vec<(f64, u32)> {
-    search_layer_counting(data, layer, entries, q, ef).0
+    search_layer_detailed(data, layer, entries, q, ef).0
 }
 
-fn search_layer_counting<P, M: Metric<P>>(
+fn search_layer_detailed<P, M: Metric<P>>(
     data: &Dataset<P, M>,
     layer: &[Vec<u32>],
     entries: &[u32],
     q: &P,
     ef: usize,
-) -> (Vec<(f64, u32)>, u64) {
+) -> (Vec<(f64, u32)>, u64, u64) {
     let mut comps = 0u64;
+    let mut expansions = 0u64;
     let mut visited = vec![false; data.len()];
     let mut frontier: BinaryHeap<Reverse<C>> = BinaryHeap::new();
     let mut results: BinaryHeap<C> = BinaryHeap::new();
@@ -283,6 +338,7 @@ fn search_layer_counting<P, M: Metric<P>>(
         if results.len() >= ef && d > worst {
             break;
         }
+        expansions += 1;
         for &nb in &layer[v as usize] {
             if visited[nb as usize] {
                 continue;
@@ -302,7 +358,7 @@ fn search_layer_counting<P, M: Metric<P>>(
     }
     let mut out: Vec<(f64, u32)> = results.into_iter().map(|C(d, v)| (d, v)).collect();
     out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    (out, comps)
+    (out, comps, expansions)
 }
 
 /// `SELECT-NEIGHBORS-HEURISTIC` of \[22\]: keep a candidate only if it is

@@ -14,7 +14,10 @@
 //! All constructions emit [`pg_core::Graph`]s (HNSW additionally keeps its
 //! layer stack), so the comparison experiments can route queries through the
 //! exact same `greedy`/beam code paths and count distance computations with
-//! the same instrumentation.
+//! the same instrumentation. The [`adapter`] module goes one step further
+//! and puts every family — plain graphs, HNSW's layered search, and brute
+//! force — behind the single [`SweepSearch`] trait, which is what the
+//! evaluation crate (`pg_eval`) sweeps recall/QPS frontiers through.
 //!
 //! Where this crate sits in the workspace is mapped in `ARCHITECTURE.md`
 //! at the repository root.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adapter;
 pub mod brute;
 pub mod diskann;
 pub mod hnsw;
@@ -54,6 +58,7 @@ pub(crate) fn label_dists<P: Sync, M: Metric<P> + Sync>(
     }
 }
 
+pub use adapter::{BruteIndex, EngineIndex, GraphIndex, SweepSearch};
 pub use brute::brute_force_nn;
 pub use diskann::{slow_preprocessing, vamana, VamanaParams};
 pub use hnsw::{Hnsw, HnswParams};

@@ -2,6 +2,18 @@
 //! single-layer predecessor of HNSW: points are inserted in random order and
 //! bidirectionally connected to the `M` nearest results of a beam search
 //! over the graph built so far.
+//!
+//! # Searching an NSW graph
+//!
+//! [`nsw`] returns a plain [`Graph`], so queries route through the shared
+//! [`pg_core::beam_search`] (or, behind the uniform sweep interface,
+//! [`GraphIndex`](crate::GraphIndex)). The `ef` and tie-breaking semantics
+//! are therefore exactly those documented on `beam_search`: effective beam
+//! width `ef.max(k)` is *not* applied here — `beam_search` keeps `ef` as
+//! given and truncates to `k` at the end — and all orderings break distance
+//! ties by smaller id, identically to brute force. The construction-time
+//! beam below mirrors that rule (its candidate heap orders by `(dist, id)`),
+//! so the built graph is deterministic for a seed at every thread count.
 
 use pg_core::Graph;
 use pg_metric::{Dataset, Metric};

@@ -1,0 +1,359 @@
+//! **Experiment RECALL** — quality–cost frontiers for every index family on
+//! the standard workload suite: the recall/QPS methodology of the empirical
+//! proximity-graph literature (FCPG; the monotonic-PG study), wired through
+//! `pg_eval`.
+//!
+//! For each workload of `pg_workloads::eval_suite_flat` and each algorithm
+//! (`gnet`, `theta`, `hnsw`, `vamana`, `nsw`, `brute`), the binary:
+//!
+//! 1. computes exact ground truth (parallel brute force, cached in
+//!    `target/gt-cache/` via the fingerprinted `pg_eval` snapshot format —
+//!    re-runs hit the cache);
+//! 2. **asserts before timing anything** that (a) the brute-force
+//!    "algorithm" scores recall@k exactly 1.0 and mean distance ratio
+//!    exactly 1.0 at every axis point, and (b) every deterministic metric
+//!    (recall, ratio, success@ε, dist comps, hops) is bit-identical across
+//!    thread counts 1 / 2 / machine;
+//! 3. walks the beam-width axis (`ef`) through the batched engine and
+//!    prints one frontier table per workload;
+//! 4. additionally walks the **paper's axis** — the greedy distance budget
+//!    of the Section 1.1 `query` — for the `G_net` index.
+//!
+//! Results land in `BENCH_<label>.json`, extending the `schema_version`-1
+//! trajectory format (README § Performance) with a `frontiers` section:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1, "label": "pr5", "smoke": false, "threads": 1,
+//!   "suite": {"n": 1200, "m": 80, "k": 10, "eps": 1.0},
+//!   "frontiers": [
+//!     {"workload": "uniform-2d", "algo": "gnet", "axis": "ef", "k": 10,
+//!      "rows": [{"param": 4.0, "recall": 0.9, "mean_dist_ratio": 1.01,
+//!                "success_at_eps": 1.0, "dist_comps": 60.1, "hops": 9.2,
+//!                "qps": 120000.0}]}
+//!   ]
+//! }
+//! ```
+//!
+//! `axis` is `"ef"` (beam width; `brute` ignores it — its rows are the flat
+//! reference line) or `"budget"` (greedy distance budget, `k = 1`).
+//! Non-finite metric values serialize as `null`. How to read the frontier —
+//! and this schema — is documented in `EXPERIMENTS.md` at the repository
+//! root.
+//!
+//! Run: `cargo run --release -p pg_bench --bin exp_recall
+//! [--smoke | --full] [--threads N] [--algo NAME] [--label NAME]
+//! [--gt-cache DIR]`
+
+use std::fmt::Write as _;
+
+use pg_baselines::{
+    nsw, vamana, BruteIndex, EngineIndex, GraphIndex, Hnsw, HnswParams, NswParams, SweepSearch,
+    VamanaParams,
+};
+use pg_bench::{fmt, full_mode, init_threads, spread_start, value_flag, Table};
+use pg_core::{GNet, QueryEngine, ThetaGraph};
+use pg_eval::{CacheStatus, FrontierPoint, FrontierSweep, GroundTruth, Score};
+use pg_metric::{Euclidean, FlatRow};
+use pg_workloads as workloads;
+
+const ALGOS: [&str; 6] = ["gnet", "theta", "hnsw", "vamana", "nsw", "brute"];
+
+/// A boxed adapter over the flat Euclidean layout every sweep runs on.
+type DynIndex = Box<dyn SweepSearch<FlatRow, Euclidean>>;
+
+/// One frontier destined for the JSON artifact.
+struct FrontierRecord {
+    workload: &'static str,
+    algo: String,
+    axis: &'static str,
+    k: usize,
+    rows: Vec<FrontierPoint>,
+}
+
+/// `f64` as a JSON number, with non-finite values as `null`.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn machine_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |t| t.get())
+}
+
+fn main() {
+    let threads = init_threads();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = full_mode();
+    let (n, m, k) = if smoke {
+        (300, 32, 5)
+    } else if full {
+        (4000, 200, 10)
+    } else {
+        (1200, 80, 10)
+    };
+    // The axis deliberately starts below k: a beam narrower than k cannot
+    // return k results, so the low end traces the steep rising segment of
+    // the frontier even on datasets small enough for ef >= k to saturate.
+    let efs: Vec<usize> = if smoke {
+        vec![2, 5, 8, 16, 32]
+    } else if full {
+        vec![2, 4, 10, 16, 32, 64, 128, 256]
+    } else {
+        vec![2, 4, 10, 16, 32, 64, 128]
+    };
+    let budgets: Vec<u64> = if full {
+        vec![1, 4, 16, 64, 256, 1024]
+    } else {
+        vec![1, 4, 16, 64, 256]
+    };
+    let label =
+        value_flag("--label").unwrap_or_else(|| if smoke { "smoke".into() } else { "pr5".into() });
+    let algo_filter = value_flag("--algo");
+    if let Some(a) = &algo_filter {
+        assert!(
+            ALGOS.contains(&a.as_str()),
+            "--algo must be one of {ALGOS:?}, got {a}"
+        );
+    }
+    let gt_dir = value_flag("--gt-cache").unwrap_or_else(|| "target/gt-cache".into());
+    let machine = machine_threads();
+    let sweep = FrontierSweep::new(k, efs.clone());
+
+    println!(
+        "# RECALL: quality-cost frontiers on the standard suite \
+         (n = {n}, m = {m}, k = {k}, {threads} thread(s), label: {label})\n"
+    );
+    let brute_selected = algo_filter.as_deref().is_none_or(|a| a == "brute");
+    println!(
+        "Deterministic metrics are asserted bit-identical across thread counts \
+         1/2/{machine} before any timing{}.\n",
+        if brute_selected {
+            ", and brute-force recall is asserted exactly 1.0"
+        } else {
+            " (brute not selected: its recall == 1.0 self-check does not run)"
+        }
+    );
+
+    let mut records: Vec<FrontierRecord> = Vec::new();
+
+    for (wname, points, queries) in workloads::eval_suite_flat(n, m, 99) {
+        let dim = points.dim();
+        let data = points.into_dataset(Euclidean);
+        let queries: Vec<FlatRow> = queries.into_rows();
+
+        let gt_path = format!("{gt_dir}/{wname}_n{n}_m{m}_k{k}.pggt");
+        let (truth, status) = GroundTruth::compute_or_load(&gt_path, &data, &queries, k)
+            .expect("ground-truth cache read/write");
+        println!(
+            "## workload: {wname} (d = {dim}, ground truth: {})\n",
+            match status {
+                CacheStatus::Hit => "cache hit",
+                CacheStatus::Miss => "computed, cached",
+            }
+        );
+
+        // ---- build the selected indexes -----------------------------------
+        // Two adapters per graph family: the `gate` (plain GraphIndex, whose
+        // default parallel map genuinely follows the `with_threads` override
+        // — so the invariance check exercises real 1/2/machine sharding) and
+        // the `timed` EngineIndex (engine built HERE, outside any timing
+        // window, so the q/s column measures pure search work). The
+        // timed-vs-gate score assertion below bridges the two paths.
+        let theta = if dim <= 2 { 0.25 } else { 0.7 };
+        let selected = |name: &str| algo_filter.as_deref().is_none_or(|a| a == name);
+        let gnet = selected("gnet").then(|| GNet::build_fast(&data, 1.0));
+        let mut indexes: Vec<(&'static str, DynIndex, Option<DynIndex>)> = Vec::new();
+        for name in ALGOS {
+            if !selected(name) {
+                continue;
+            }
+            let graph = match name {
+                "gnet" => Some(gnet.as_ref().expect("built when selected").graph.clone()),
+                "theta" => Some(ThetaGraph::build(&data, theta).graph),
+                "vamana" => Some(vamana(&data, VamanaParams::default())),
+                "nsw" => Some(nsw(&data, NswParams::default())),
+                _ => None,
+            };
+            let (gate, timed): (DynIndex, Option<DynIndex>) = match graph {
+                Some(g) => (
+                    Box::new(GraphIndex::new(g.clone())),
+                    Some(Box::new(EngineIndex::new(QueryEngine::new(
+                        g,
+                        data.clone(),
+                    )))),
+                ),
+                None if name == "hnsw" => {
+                    (Box::new(Hnsw::build(&data, HnswParams::default())), None)
+                }
+                None => (Box::new(BruteIndex), None),
+            };
+            indexes.push((name, gate, timed));
+        }
+
+        let mut table = Table::new(&[
+            "algo", "ef", "recall@k", "ratio", "succ@1", "dists/q", "hops/q", "q/s",
+        ]);
+        for (name, gate, timed) in &indexes {
+            // ---- determinism gate: scores at 1/2/machine threads ----------
+            let score_all = |t: usize| -> Vec<Score> {
+                rayon::with_threads(t, || {
+                    efs.iter()
+                        .map(|&ef| sweep.score_at(gate.as_ref(), &data, &queries, &truth, ef))
+                        .collect()
+                })
+            };
+            let base = score_all(1);
+            for t in [2, machine] {
+                assert_eq!(
+                    score_all(t),
+                    base,
+                    "{wname}/{name}: metrics diverged at {t} threads"
+                );
+            }
+            if *name == "brute" {
+                for (ef, s) in efs.iter().zip(base.iter()) {
+                    assert_eq!(s.recall, 1.0, "brute recall@{k} must be exactly 1.0");
+                    assert_eq!(s.mean_dist_ratio, 1.0, "brute ratio must be exactly 1.0");
+                    assert_eq!(s.success_at_eps, 1.0, "brute success@eps at ef = {ef}");
+                }
+            }
+
+            // ---- timed frontier (scores re-checked against the gate) ------
+            let timed_index = timed.as_deref().unwrap_or(gate.as_ref());
+            let pts = sweep.run(timed_index, &data, &queries, &truth);
+            for (p, b) in pts.iter().zip(base.iter()) {
+                assert_eq!(&p.score, b, "{wname}/{name}: timed run changed a metric");
+                table.row(vec![
+                    (*name).into(),
+                    (p.param as usize).to_string(),
+                    fmt(p.score.recall, 3),
+                    fmt(p.score.mean_dist_ratio, 3),
+                    fmt(p.score.success_at_eps, 2),
+                    fmt(p.score.dist_comps, 0),
+                    fmt(p.score.hops, 1),
+                    fmt(p.qps, 0),
+                ]);
+            }
+            records.push(FrontierRecord {
+                workload: wname,
+                algo: (*name).to_string(),
+                axis: "ef",
+                k,
+                rows: pts,
+            });
+        }
+        table.print();
+
+        // ---- the paper's axis: greedy distance budget on G_net ------------
+        if let Some(gnet) = &gnet {
+            // The cached k-truth suffices: budget scoring only reads the
+            // rank-0 (nearest-neighbor) distance of each query.
+            let starts: Vec<u32> = (0..queries.len()).map(|i| spread_start(i, n)).collect();
+            let budget_sweep = FrontierSweep::new(1, vec![1]);
+            let run_budget = |t: usize| -> Vec<Score> {
+                rayon::with_threads(t, || {
+                    let engine = QueryEngine::new(gnet.graph.clone(), data.clone());
+                    budget_sweep
+                        .run_greedy_budget(&engine, &starts, &queries, &truth, &budgets)
+                        .into_iter()
+                        .map(|p| p.score)
+                        .collect()
+                })
+            };
+            let base = run_budget(1);
+            for t in [2, machine] {
+                assert_eq!(
+                    run_budget(t),
+                    base,
+                    "{wname}/gnet budget diverged at {t} threads"
+                );
+            }
+            let engine = QueryEngine::new(gnet.graph.clone(), data.clone());
+            let pts = budget_sweep.run_greedy_budget(&engine, &starts, &queries, &truth, &budgets);
+            let mut btable = Table::new(&[
+                "algo", "budget", "recall@1", "ratio", "succ@1", "dists/q", "hops/q", "q/s",
+            ]);
+            for (p, b) in pts.iter().zip(base.iter()) {
+                assert_eq!(
+                    &p.score, b,
+                    "{wname}/gnet: timed budget run changed a metric"
+                );
+                btable.row(vec![
+                    "gnet".into(),
+                    (p.param as u64).to_string(),
+                    fmt(p.score.recall, 3),
+                    fmt(p.score.mean_dist_ratio, 3),
+                    fmt(p.score.success_at_eps, 2),
+                    fmt(p.score.dist_comps, 0),
+                    fmt(p.score.hops, 1),
+                    fmt(p.qps, 0),
+                ]);
+            }
+            println!("\nGreedy budget frontier (the Section 1.1 `query(p, q, Q)` axis, k = 1):\n");
+            btable.print();
+            records.push(FrontierRecord {
+                workload: wname,
+                algo: "gnet".into(),
+                axis: "budget",
+                k: 1,
+                rows: pts,
+            });
+        }
+        println!();
+    }
+
+    println!("Reading guide: each (workload, algo) traces a frontier — recall rises with ef");
+    println!("while dists/q grows and q/s falls; curves closer to the top-left dominate.");
+    println!("`brute` is the exact reference (recall 1.0 at n dists/q); see EXPERIMENTS.md.");
+
+    // ---- JSON trajectory artifact ------------------------------------------
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"label\": \"{label}\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(
+        j,
+        "  \"suite\": {{\"n\": {n}, \"m\": {m}, \"k\": {k}, \"eps\": {:.1}}},",
+        sweep.eps
+    );
+    let _ = writeln!(j, "  \"frontiers\": [");
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"algo\": \"{}\", \"axis\": \"{}\", \"k\": {},",
+            r.workload, r.algo, r.axis, r.k
+        );
+        let _ = writeln!(j, "     \"rows\": [");
+        for (ri, p) in r.rows.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "       {{\"param\": {}, \"recall\": {}, \"mean_dist_ratio\": {}, \"success_at_eps\": {}, \"dist_comps\": {}, \"hops\": {}, \"qps\": {}}}{}",
+                jf(p.param),
+                jf(p.score.recall),
+                jf(p.score.mean_dist_ratio),
+                jf(p.score.success_at_eps),
+                jf(p.score.dist_comps),
+                jf(p.score.hops),
+                jf(p.qps),
+                if ri + 1 < r.rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            j,
+            "     ]}}{}",
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+
+    let path = format!("BENCH_{label}.json");
+    std::fs::write(&path, &j).expect("writing the trajectory artifact");
+    println!("\nwrote {path}");
+}

@@ -6,7 +6,7 @@
 //! [`Graph`] and its [`Dataset`] and shards query batches across a thread
 //! pool (`crates/compat/rayon`), while returning results in **input order,
 //! identical to the sequential routines** ([`greedy`](crate::search::greedy),
-//! [`query`], [`beam_search`]): the routing walk for
+//! [`query`], [`beam_search`](crate::search::beam_search)): the routing walk for
 //! one query never depends on any other query, so parallelism cannot change
 //! an answer, only the wall clock.
 //!
@@ -29,7 +29,7 @@
 //! become visible when writing code generic over `P`/`M`, where they must
 //! be propagated (this is the PR-2 API change the sequential seed didn't
 //! need). The sequential entry points ([`greedy`](crate::search::greedy),
-//! [`query`], [`beam_search`]) remain bound-free.
+//! [`query`], [`beam_search`](crate::search::beam_search)) remain bound-free.
 //!
 //! # Persistence
 //!
@@ -79,7 +79,7 @@
 use pg_metric::{Dataset, Metric};
 
 use crate::graph::Graph;
-use crate::search::{beam_search, query, GreedyOutcome};
+use crate::search::{beam_search_detailed, query, BeamOutcome, GreedyOutcome};
 
 /// The result of a [`QueryEngine::batch_greedy`] / [`QueryEngine::batch_query`]
 /// call: per-query outcomes in input order plus the aggregated distance count.
@@ -99,6 +99,19 @@ pub struct BatchBeamOutcome {
     /// id), in the order the queries were given.
     pub results: Vec<Vec<(u32, f64)>>,
     /// Total distance computations across the batch.
+    pub dist_comps: u64,
+}
+
+/// The result of a [`QueryEngine::batch_beam_detailed`] call: one full
+/// [`BeamOutcome`] per query, so evaluation code can score recall and plot
+/// per-query cost (`dist_comps`, `expansions`) without re-deriving anything
+/// from a batch total.
+#[derive(Debug, Clone)]
+pub struct BatchBeamDetail {
+    /// One [`BeamOutcome`] per query, in the order the queries were given.
+    pub outcomes: Vec<BeamOutcome>,
+    /// Total distance computations across the batch (the sum of the
+    /// per-outcome `dist_comps`).
     pub dist_comps: u64,
 }
 
@@ -190,9 +203,11 @@ impl<P: Sync, M: Metric<P> + Sync> QueryEngine<P, M> {
         }
     }
 
-    /// Runs [`beam_search`] (width `ef`, top `k`) for every `(start, query)`
-    /// pair, sharded across the pool. Result `i` is exactly
-    /// `beam_search(graph, data, starts[i], &queries[i], ef, k)`.
+    /// Runs [`beam_search`](crate::search::beam_search) (width `ef`, top
+    /// `k`) for every `(start, query)` pair, sharded across the pool. Result
+    /// `i` is exactly `beam_search(graph, data, starts[i], &queries[i], ef,
+    /// k)`. Delegates to [`QueryEngine::batch_beam_detailed`] and discards
+    /// the per-query accounting.
     pub fn batch_beam(
         &self,
         starts: &[u32],
@@ -200,17 +215,37 @@ impl<P: Sync, M: Metric<P> + Sync> QueryEngine<P, M> {
         ef: usize,
         k: usize,
     ) -> BatchBeamOutcome {
+        let detail = self.batch_beam_detailed(starts, queries, ef, k);
+        BatchBeamOutcome {
+            results: detail.outcomes.into_iter().map(|o| o.results).collect(),
+            dist_comps: detail.dist_comps,
+        }
+    }
+
+    /// Runs [`beam_search_detailed`] for every `(start, query)` pair,
+    /// sharded across the pool: outcome `i` is exactly
+    /// `beam_search_detailed(graph, data, starts[i], &queries[i], ef, k)`,
+    /// carrying that query's own `dist_comps` and `expansions` — the
+    /// per-query detail evaluation sweeps (`pg_eval`) score from, with the
+    /// batch total still aggregated on the side.
+    pub fn batch_beam_detailed(
+        &self,
+        starts: &[u32],
+        queries: &[P],
+        ef: usize,
+        k: usize,
+    ) -> BatchBeamDetail {
         assert_eq!(
             starts.len(),
             queries.len(),
             "one start vertex per query required"
         );
-        let per_query = rayon::par_map_indexed_with(self.threads, queries, |i, q| {
-            beam_search(&self.graph, &self.data, starts[i], q, ef, k)
+        let outcomes = rayon::par_map_indexed_with(self.threads, queries, |i, q| {
+            beam_search_detailed(&self.graph, &self.data, starts[i], q, ef, k)
         });
-        let dist_comps = per_query.iter().map(|(_, c)| c).sum();
-        BatchBeamOutcome {
-            results: per_query.into_iter().map(|(r, _)| r).collect(),
+        let dist_comps = outcomes.iter().map(|o| o.dist_comps).sum();
+        BatchBeamDetail {
+            outcomes,
             dist_comps,
         }
     }
@@ -294,6 +329,7 @@ mod tests {
 
     #[test]
     fn batch_beam_matches_sequential_and_orders_results() {
+        use crate::search::beam_search;
         let ds = random_dataset(180, 5);
         let pg = GNet::build(&ds, 1.0);
         let queries = random_queries(30, 6);
@@ -307,6 +343,28 @@ mod tests {
             comps_total += c;
         }
         assert_eq!(batch.dist_comps, comps_total);
+    }
+
+    #[test]
+    fn batch_beam_detailed_matches_sequential_for_every_thread_count() {
+        let ds = random_dataset(170, 12);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(24, 13);
+        let starts: Vec<u32> = (0..24).map(|i| (i * 7) % 170).collect();
+        let sequential: Vec<BeamOutcome> = starts
+            .iter()
+            .zip(queries.iter())
+            .map(|(&s, q)| beam_search_detailed(&pg.graph, &ds, s, q, 12, 3))
+            .collect();
+        for threads in [1, 2, 6] {
+            let engine = QueryEngine::new(pg.graph.clone(), ds.clone()).with_threads(threads);
+            let detail = engine.batch_beam_detailed(&starts, &queries, 12, 3);
+            assert_eq!(detail.outcomes, sequential, "diverged at {threads} threads");
+            assert_eq!(
+                detail.dist_comps,
+                sequential.iter().map(|o| o.dist_comps).sum::<u64>()
+            );
+        }
     }
 
     #[test]

@@ -62,12 +62,12 @@ pub mod snapshot;
 pub mod theta;
 
 pub use dynamic::{DynamicAnswer, DynamicGNet, DynamicStats};
-pub use engine::{BatchBeamOutcome, BatchOutcome, QueryEngine};
+pub use engine::{BatchBeamDetail, BatchBeamOutcome, BatchOutcome, QueryEngine};
 pub use gnet::{gnet_edges_with_phi, GNet, GNetIndependent};
 pub use graph::{Graph, GraphBuilder};
 pub use merged::{MergedGraph, MergedParams};
 pub use navigability::{check_navigable, check_pg_exhaustive, Starts, Violation};
 pub use params::GNetParams;
-pub use search::{beam_search, greedy, query, GreedyOutcome};
+pub use search::{beam_search, beam_search_detailed, greedy, query, BeamOutcome, GreedyOutcome};
 pub use snapshot::SnapshotMetric;
 pub use theta::{ConeSet, ThetaGraph};

@@ -147,13 +147,32 @@ pub fn query<P, M: Metric<P>>(
     }
 }
 
+/// The result of one [`beam_search_detailed`] call: everything a scoring
+/// layer (`pg_eval`) needs about a single query, so quality/cost frontiers
+/// can be computed without re-running or re-instrumenting the search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamOutcome {
+    /// Up to `k` results ascending by true distance, ties broken by id —
+    /// the same order [`Dataset::k_nearest_brute`] uses, so result lists are
+    /// directly comparable against brute-force ground truth.
+    pub results: Vec<(u32, f64)>,
+    /// Number of distance computations performed by this query.
+    pub dist_comps: u64,
+    /// Number of vertices *expanded* — popped from the frontier with their
+    /// out-neighbor list scanned. The beam analogue of greedy's hop count:
+    /// it measures graph-walk length, where `dist_comps` measures metric
+    /// work.
+    pub expansions: u64,
+}
+
 /// Beam search (best-first with a width-`ef` frontier), the de-facto search
 /// routine of practical systems (HNSW's `SEARCH-LAYER`). Not part of the
 /// paper's model — provided as an extension so the comparison experiments
 /// can report recall under the search procedure practitioners actually use.
 ///
 /// Returns up to `k` results ascending by distance and the number of
-/// distance computations.
+/// distance computations. [`beam_search_detailed`] additionally reports the
+/// expansion count; this wrapper discards it.
 ///
 /// Heap ordering and the frontier cutoff run in surrogate space (squared
 /// distance under `L_2`; ties still break by id, identically in both
@@ -166,6 +185,22 @@ pub fn beam_search<P, M: Metric<P>>(
     ef: usize,
     k: usize,
 ) -> (Vec<(u32, f64)>, u64) {
+    let out = beam_search_detailed(graph, data, p_start, q, ef, k);
+    (out.results, out.dist_comps)
+}
+
+/// [`beam_search`] with full per-query accounting: identical walk, identical
+/// results and `dist_comps` (the plain wrapper delegates here), plus the
+/// number of expanded vertices — the detail the evaluation layer scores
+/// from.
+pub fn beam_search_detailed<P, M: Metric<P>>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    p_start: u32,
+    q: &P,
+    ef: usize,
+    k: usize,
+) -> BeamOutcome {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -185,6 +220,7 @@ pub fn beam_search<P, M: Metric<P>>(
 
     assert!(ef >= 1);
     let mut comps: u64 = 0;
+    let mut expansions: u64 = 0;
     let mut visited = vec![false; data.len()];
     visited[p_start as usize] = true;
     comps += 1;
@@ -203,6 +239,7 @@ pub fn beam_search<P, M: Metric<P>>(
         if results.len() >= ef && d > worst {
             break;
         }
+        expansions += 1;
         for &nb in graph.neighbors(v) {
             if visited[nb as usize] {
                 continue;
@@ -227,7 +264,11 @@ pub fn beam_search<P, M: Metric<P>>(
     for e in &mut out {
         e.1 = data.dist_from_surrogate(e.1);
     }
-    (out, comps)
+    BeamOutcome {
+        results: out,
+        dist_comps: comps,
+        expansions,
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +482,26 @@ mod tests {
         let brute = ds.k_nearest_brute(&q, 6);
         let brute_ids: Vec<(u32, f64)> = brute.into_iter().map(|(i, d)| (i as u32, d)).collect();
         assert_eq!(res, brute_ids);
+    }
+
+    #[test]
+    fn beam_detailed_agrees_with_plain_wrapper_and_counts_expansions() {
+        let ds = line_dataset(40);
+        let g = path_graph(40);
+        let q = vec![25.2];
+        let (res, comps) = beam_search(&g, &ds, 0, &q, 8, 3);
+        let det = beam_search_detailed(&g, &ds, 0, &q, 8, 3);
+        assert_eq!(det.results, res);
+        assert_eq!(det.dist_comps, comps);
+        // The walk expands at least every vertex on the path to the answer,
+        // and never more vertices than it evaluated distances for.
+        assert!(det.expansions >= 25);
+        assert!(det.expansions <= det.dist_comps);
+        // A start with no out-edges is popped once and expands nothing
+        // beyond itself: exactly one expansion.
+        let det = beam_search_detailed(&Graph::empty(40), &ds, 7, &q, 4, 1);
+        assert_eq!(det.expansions, 1);
+        assert_eq!(det.results, vec![(7, ds.dist_to(7, &q))]);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Evaluation subsystem: the workspace scores itself.
+//!
+//! The paper's empirical claims — and those of the proximity-graph
+//! literature it builds on (FCPG, the monotonic-PG study) — are about the
+//! **trade-off** between answer quality and search cost, not about raw
+//! speed: a regression that returns the wrong neighbors faster is a loss,
+//! and only a harness that measures recall can see it. This crate is that
+//! harness, in three layers:
+//!
+//! * [`truth`] — exact ground truth: parallel brute-force top-`k`
+//!   ([`GroundTruth::compute`]), cached in a versioned, checksummed,
+//!   fingerprint-keyed file ([`GroundTruth::compute_or_load`]) so repeated
+//!   sweeps never pay the `Θ(n · m)` scan twice;
+//! * [`metrics`] — answer quality per query: [`recall_at_k`],
+//!   [`mean_distance_ratio`], [`success_at_eps`], all scored with the
+//!   tie-safe distance-threshold rule (see the [`metrics`] module docs for
+//!   why no epsilon fudge is needed);
+//! * [`sweep`] — [`FrontierSweep`], which walks a parameter axis (beam
+//!   `ef`, or the paper's greedy distance budget) through batched searches
+//!   of any [`pg_baselines::SweepSearch`] index and emits
+//!   `{recall, qps, dist_comps, hops}` frontier points.
+//!
+//! The measurement strategy — what is cached, what is asserted
+//! deterministic, and how the recall–QPS frontier is read — is documented
+//! in `ARCHITECTURE.md` (§ Measurement strategy) and `EXPERIMENTS.md` at
+//! the repository root; `exp_recall` in `pg_bench` is the standard-workload
+//! driver.
+//!
+//! # Example: score an index against brute force
+//!
+//! ```
+//! use pg_baselines::{BruteIndex, GraphIndex};
+//! use pg_core::GNet;
+//! use pg_eval::{FrontierSweep, GroundTruth};
+//! use pg_metric::{Euclidean, FlatPoints, FlatRow};
+//!
+//! // A small grid dataset and a handful of off-grid queries.
+//! let data = FlatPoints::from_fn(150, 2, |i, out| {
+//!     out.push((i % 15) as f64);
+//!     out.push((i / 15) as f64);
+//! })
+//! .into_dataset(Euclidean);
+//! let queries: Vec<FlatRow> = (0..10)
+//!     .map(|i| FlatRow::from(vec![i as f64 * 1.4 + 0.3, i as f64 * 0.9 + 0.2]))
+//!     .collect();
+//!
+//! // Exact ground truth (parallel brute force), then a two-point frontier.
+//! let truth = GroundTruth::compute(&data, &queries, 3);
+//! let sweep = FrontierSweep::new(3, vec![2, 32]);
+//!
+//! // Brute force scores a perfect 1.0 recall by construction…
+//! let brute = sweep.run(&BruteIndex, &data, &queries, &truth);
+//! assert!(brute.iter().all(|p| p.score.recall == 1.0));
+//!
+//! // …and a G_net beam search buys recall with distance computations.
+//! let pg = GNet::build(&data, 1.0);
+//! let frontier = sweep.run(&GraphIndex::new(pg.graph), &data, &queries, &truth);
+//! assert!(frontier[1].score.recall >= frontier[0].score.recall);
+//! assert!(frontier[1].score.dist_comps > frontier[0].score.dist_comps);
+//! assert!(frontier[1].score.dist_comps < 150.0); // still beats a linear scan
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod sweep;
+pub mod truth;
+
+pub use metrics::{mean_distance_ratio, recall_at_k, success_at_eps};
+pub use sweep::{FrontierPoint, FrontierSweep, Score};
+pub use truth::{fingerprint, CacheStatus, GroundTruth, GroundTruthError};

@@ -1,0 +1,193 @@
+//! Answer-quality metrics: recall@k, mean distance ratio, and success@ε,
+//! each scored against exact [`GroundTruth`].
+//!
+//! # Why hits are decided by distance threshold, not id membership
+//!
+//! When several data points tie at the `k`-th smallest distance, the exact
+//! top-`k` *set* is not unique — brute force breaks the tie by id, an index
+//! may legitimately break it the other way, and counting that answer as a
+//! miss would punish an index for returning a point exactly as close. All
+//! metrics here therefore follow the ANN-benchmarks convention: a returned
+//! point is a **hit** iff its true distance is at most the `k`-th
+//! ground-truth distance ([`GroundTruth::threshold`]).
+//!
+//! No epsilon fudge is needed on that comparison, which is unusual and
+//! worth explaining (`ARCHITECTURE.md` § Measurement strategy): every
+//! search routine in this workspace *compares* in the metric's monotone
+//! surrogate space and reports `dist_from_surrogate(surrogate(p, q))` — and
+//! so does the brute-force scan behind [`GroundTruth`]. Both sides of the
+//! threshold comparison are the same deterministic function of the same
+//! coordinates, so equal points produce bit-equal distances, and exact
+//! `f64` comparison is tie-safe. An epsilon would only be needed if ground
+//! truth and index computed distances through different kernels.
+
+use crate::truth::GroundTruth;
+
+/// Recall@k of one query's result list against the exact top-`k`:
+/// `hits / k`, where a result is a hit iff its distance is at most
+/// [`GroundTruth::threshold`] (see the module docs for the tie rationale).
+/// Only the first `k` results are considered; shorter lists simply score
+/// lower. Always in `[0, 1]`.
+///
+/// ```
+/// use pg_eval::{recall_at_k, GroundTruth};
+/// use pg_metric::{Dataset, Euclidean};
+///
+/// let data = Dataset::new((0..10).map(|i| vec![i as f64]).collect(), Euclidean);
+/// let queries = vec![vec![2.25], vec![7.9]];
+/// let truth = GroundTruth::compute(&data, &queries, 2);
+///
+/// // Query 0's exact 2-NN are ids {2, 3}. Returning both is recall 1.0 …
+/// assert_eq!(recall_at_k(&truth, 0, &[(2, 0.25), (3, 0.75)]), 1.0);
+/// // … one of them plus a farther point is 0.5 …
+/// assert_eq!(recall_at_k(&truth, 0, &[(2, 0.25), (5, 2.75)]), 0.5);
+/// // … and brute force against itself is exact by construction.
+/// let brute: Vec<(u32, f64)> = data
+///     .k_nearest_brute(&queries[1], 2)
+///     .into_iter()
+///     .map(|(i, d)| (i as u32, d))
+///     .collect();
+/// assert_eq!(recall_at_k(&truth, 1, &brute), 1.0);
+/// ```
+pub fn recall_at_k(truth: &GroundTruth, q: usize, results: &[(u32, f64)]) -> f64 {
+    let thr = truth.threshold(q);
+    let hits = results
+        .iter()
+        .take(truth.k())
+        .filter(|&&(_, d)| d <= thr)
+        .count();
+    hits as f64 / truth.k() as f64
+}
+
+/// Mean distance ratio of one query's result list: the average of
+/// `result_dist[j] / truth_dist[j]` over the ranks both lists cover (both
+/// are ascending, so rank-wise pairing is the natural alignment). A perfect
+/// answer scores exactly 1.0; 1.05 means returned neighbors are on average
+/// 5% farther than optimal — a graded signal where recall is all-or-nothing
+/// per rank.
+///
+/// Edge cases, chosen so the metric stays monotone and finite-data-safe:
+/// a rank where the true distance is `0` scores `1.0` if the result
+/// distance is also `0` and `f64::INFINITY` otherwise; an empty result list
+/// scores `f64::INFINITY` (no answer is infinitely bad, not vacuously
+/// perfect). Ranks beyond `results.len()` are not scored — recall already
+/// penalizes short lists.
+pub fn mean_distance_ratio(truth: &GroundTruth, q: usize, results: &[(u32, f64)]) -> f64 {
+    let truth_d = truth.dists_for(q);
+    let n = results.len().min(truth_d.len());
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    for j in 0..n {
+        let got = results[j].1;
+        let want = truth_d[j];
+        sum += if want > 0.0 {
+            got / want
+        } else if got == 0.0 {
+            1.0
+        } else {
+            return f64::INFINITY;
+        };
+    }
+    sum / n as f64
+}
+
+/// Success@ε of one query: whether the best returned point is a
+/// `(1+ε)`-approximate nearest neighbor, i.e. `results[0].dist <= (1+ε) ·
+/// d(q, NN(q))` — the paper's per-query guarantee notion (Fact 2.1 promises
+/// this with ε from the construction; this measures it empirically). An
+/// empty result list fails.
+pub fn success_at_eps(truth: &GroundTruth, q: usize, results: &[(u32, f64)], eps: f64) -> bool {
+    match results.first() {
+        Some(&(_, d)) => d <= (1.0 + eps) * truth.nearest_dist(q),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::{Dataset, Euclidean};
+
+    // Query 0 sits at 3.25: its distances to the integer line are exactly
+    // representable (0.25, 0.75, 1.25, …), so the tests can assert with
+    // literals instead of tolerances.
+    fn line_truth(k: usize) -> (Dataset<Vec<f64>, Euclidean>, Vec<Vec<f64>>, GroundTruth) {
+        let data = Dataset::new((0..12).map(|i| vec![i as f64]).collect(), Euclidean);
+        let queries = vec![vec![3.25], vec![0.0], vec![11.0]];
+        let truth = GroundTruth::compute(&data, &queries, k);
+        (data, queries, truth)
+    }
+
+    #[test]
+    fn recall_counts_threshold_ties_as_hits() {
+        // Query at 4.0: distances to ids 3 and 5 tie at 1.0; the exact
+        // top-2 set {4, 3} is not unique, and an index returning {4, 5}
+        // must score recall 1.0, not 0.5.
+        let data = Dataset::new((0..8).map(|i| vec![i as f64]).collect(), Euclidean);
+        let queries = vec![vec![4.0]];
+        let truth = GroundTruth::compute(&data, &queries, 2);
+        assert_eq!(truth.ids_for(0), &[4, 3]); // brute breaks the tie by id
+        assert_eq!(recall_at_k(&truth, 0, &[(4, 0.0), (5, 1.0)]), 1.0);
+        assert_eq!(recall_at_k(&truth, 0, &[(4, 0.0), (6, 2.0)]), 0.5);
+    }
+
+    #[test]
+    fn recall_handles_short_and_long_result_lists() {
+        let (_, _, truth) = line_truth(3);
+        // Short list: only the returned ranks can hit.
+        assert_eq!(recall_at_k(&truth, 0, &[(3, 0.25)]), 1.0 / 3.0);
+        // Long list: ranks beyond k are ignored, recall never exceeds 1.
+        let long = [(3, 0.25), (4, 0.75), (2, 1.25), (5, 1.75), (1, 2.25)];
+        assert_eq!(recall_at_k(&truth, 0, &long), 1.0);
+        assert_eq!(recall_at_k(&truth, 0, &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_ratio_is_one_for_exact_answers_and_grades_misses() {
+        let (data, queries, truth) = line_truth(2);
+        let exact: Vec<(u32, f64)> = data
+            .k_nearest_brute(&queries[0], 2)
+            .into_iter()
+            .map(|(i, d)| (i as u32, d))
+            .collect();
+        assert_eq!(mean_distance_ratio(&truth, 0, &exact), 1.0);
+        // Returning {4, 5} for the query at 3.25 (truth dists 0.25, 0.75):
+        // ratios 0.75/0.25 and 1.75/0.75.
+        let near_miss = [(4, 0.75), (5, 1.75)];
+        let want = (0.75 / 0.25 + 1.75 / 0.75) / 2.0;
+        assert!((mean_distance_ratio(&truth, 0, &near_miss) - want).abs() < 1e-12);
+        assert_eq!(mean_distance_ratio(&truth, 0, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn mean_ratio_zero_distance_edge_cases() {
+        // Query sitting exactly on a data point: true NN distance is 0.
+        let (_, _, truth) = line_truth(2);
+        // Query 1 is at 0.0 → truth dists [0, 1].
+        assert_eq!(truth.nearest_dist(1), 0.0);
+        assert_eq!(mean_distance_ratio(&truth, 1, &[(0, 0.0), (1, 1.0)]), 1.0);
+        assert_eq!(
+            mean_distance_ratio(&truth, 1, &[(1, 1.0), (2, 2.0)]),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn success_at_eps_matches_the_ann_definition() {
+        let (_, _, truth) = line_truth(1);
+        // Query at 3.25: exact NN dist 0.25. A result at 0.75 is exactly a
+        // 3-ANN, so it succeeds at eps = 2 (boundary inclusive, and exact
+        // here: 3 * 0.25 == 0.75 in f64)…
+        assert!(success_at_eps(&truth, 0, &[(4, 0.75)], 2.0));
+        // …but not at any smaller eps.
+        assert!(!success_at_eps(&truth, 0, &[(4, 0.75)], 1.9));
+        // Exact answers succeed at eps = 0; empty results never do.
+        assert!(success_at_eps(&truth, 0, &[(3, 0.25)], 0.0));
+        assert!(!success_at_eps(&truth, 0, &[], 10.0));
+        // Zero true distance: only an exact hit succeeds.
+        assert!(success_at_eps(&truth, 1, &[(0, 0.0)], 0.0));
+        assert!(!success_at_eps(&truth, 1, &[(1, 1.0)], 0.5));
+    }
+}

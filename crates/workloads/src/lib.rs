@@ -317,6 +317,27 @@ pub fn standard_suite_flat(n: usize, seed: u64) -> Vec<(&'static str, FlatPoints
     ]
 }
 
+/// The evaluation workload suite: every [`standard_suite_flat`] dataset
+/// paired with its matched query set — `m` near-data perturbed queries
+/// (`σ = 0.5`, the embedding-retrieval query model) drawn with a seed
+/// derived from `seed`, so `(name, points, queries)` triples are fully
+/// reproducible from `(n, m, seed)` alone. This is what quality sweeps
+/// (`pg_eval`, the `exp_recall` binary) iterate, and the triple is exactly
+/// what a ground-truth cache fingerprint covers.
+pub fn eval_suite_flat(
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> Vec<(&'static str, FlatPoints, FlatPoints)> {
+    standard_suite_flat(n, seed)
+        .into_iter()
+        .map(|(name, points)| {
+            let queries = perturbed_queries_flat(&points, m, 0.5, seed ^ 0x517C_C1B7);
+            (name, points, queries)
+        })
+        .collect()
+}
+
 /// [`standard_suite_flat`] in the legacy nested layout.
 pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Points)> {
     standard_suite_flat(n, seed)
@@ -467,6 +488,29 @@ mod tests {
         for q in &qs {
             let (_, d) = ds.nearest_brute(q);
             assert!(d < 2.0, "query strayed {d} from the data");
+        }
+    }
+
+    #[test]
+    fn eval_suite_pairs_each_dataset_with_near_data_queries() {
+        let suite = eval_suite_flat(160, 24, 42);
+        assert_eq!(suite.len(), 4);
+        for ((name, pts, qs), (sname, spts)) in suite.iter().zip(standard_suite_flat(160, 42)) {
+            assert_eq!(*name, sname);
+            assert_eq!(pts, &spts, "{name}: datasets must match the standard suite");
+            assert_eq!(qs.len(), 24);
+            assert_eq!(qs.dim(), pts.dim());
+            // Perturbed queries stay near their source points.
+            let ds = Dataset::new(pts.to_nested(), Euclidean);
+            for q in qs.to_nested() {
+                let (_, d) = ds.nearest_brute(&q);
+                assert!(d < 10.0, "{name}: query strayed {d} from the data");
+            }
+        }
+        // Reproducible from the parameters alone.
+        let again = eval_suite_flat(160, 24, 42);
+        for (a, b) in suite.iter().zip(again.iter()) {
+            assert_eq!(a, b);
         }
     }
 

@@ -17,6 +17,7 @@
 //! | [`hardness`] | the executable lower-bound instances of Theorem 1.2 (Sections 3–4) with adversarial verifiers |
 //! | [`workloads`] | seeded dataset and query generators |
 //! | [`store`] | versioned on-disk index snapshots (`QueryEngine::save`/`load` live in [`core::snapshot`]) |
+//! | [`eval`] | the self-scoring layer: exact ground truth with fingerprinted caching, recall/quality metrics, recall-vs-QPS frontier sweeps |
 //!
 //! The architecture — crate dependency diagram, flat-storage design,
 //! surrogate-comparison semantics, compat-shim policy, and the snapshot
@@ -124,12 +125,52 @@
 //! }
 //! ```
 
+//!
+//! ## Scoring quality: recall–QPS frontiers
+//!
+//! Speed without recall is meaningless — a regression that returns the
+//! wrong neighbors faster would read as a win on a pure throughput
+//! benchmark. The [`eval`] subsystem makes the workspace self-scoring:
+//! exact ground truth by parallel brute force (cacheable on disk, keyed by
+//! a workload fingerprint), tie-safe quality metrics, and a
+//! [`FrontierSweep`](eval::FrontierSweep) that walks a search-effort axis
+//! through any index behind the
+//! [`SweepSearch`](baselines::SweepSearch) adapter trait:
+//!
+//! ```
+//! use proximity_graphs::baselines::{BruteIndex, GraphIndex};
+//! use proximity_graphs::core::GNet;
+//! use proximity_graphs::eval::{FrontierSweep, GroundTruth};
+//! use proximity_graphs::metric::Euclidean;
+//! use proximity_graphs::workloads;
+//!
+//! let data = workloads::uniform_cube_flat(400, 2, 80.0, 7).into_dataset(Euclidean);
+//! let queries = workloads::uniform_queries_flat(16, 2, 0.0, 80.0, 8).into_rows();
+//!
+//! // Exact top-5 ground truth, then sweep a G_net beam across two widths.
+//! let truth = GroundTruth::compute(&data, &queries, 5);
+//! let pg = GNet::build(&data, 1.0);
+//! let sweep = FrontierSweep::new(5, vec![8, 64]);
+//! let frontier = sweep.run(&GraphIndex::new(pg.graph), &data, &queries, &truth);
+//!
+//! // Wider beams never lose recall here, and brute force is exact by
+//! // construction — the self-check the evaluation harness runs for real.
+//! assert!(frontier[1].score.recall >= frontier[0].score.recall);
+//! let reference = sweep.run(&BruteIndex, &data, &queries, &truth);
+//! assert!(reference.iter().all(|p| p.score.recall == 1.0));
+//! ```
+//!
+//! The standard-workload driver is `exp_recall` (`pg_bench`); the
+//! experiments handbook `EXPERIMENTS.md` at the repository root explains
+//! how to read the frontier tables and the `BENCH_<label>.json` artifact.
+
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use pg_baselines as baselines;
 pub use pg_core as core;
 pub use pg_covertree as covertree;
+pub use pg_eval as eval;
 pub use pg_hardness as hardness;
 pub use pg_metric as metric;
 pub use pg_nets as nets;
