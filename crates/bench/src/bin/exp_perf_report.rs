@@ -42,24 +42,11 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-use pg_bench::{fmt, init_threads, spread_start, Table};
+use pg_bench::{fmt, init_threads, spread_start, value_flag, Table};
 use pg_core::{GNet, QueryEngine};
 use pg_metric::lp::{l1, l1_scalar, l2_scalar, l2_squared, l2_squared_scalar, linf, linf_scalar};
 use pg_metric::{Dataset, Euclidean};
 use pg_workloads as workloads;
-
-fn flag_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        if a == name {
-            return args.get(i + 1).cloned();
-        }
-        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
-}
 
 /// Times `evals` kernel evaluations, best of three passes, in ns/eval.
 fn time_ns_per_eval(evals: u64, mut pass: impl FnMut() -> f64) -> f64 {
@@ -117,8 +104,9 @@ struct KernelRow {
 fn main() {
     let threads = init_threads();
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let label =
-        flag_value("--label").unwrap_or_else(|| if smoke { "smoke".into() } else { "pr3".into() });
+    let label_flag = value_flag("--label");
+    let label_is_default = label_flag.is_none();
+    let label = label_flag.unwrap_or_else(|| if smoke { "smoke".into() } else { "pr3".into() });
     println!("# perf report: flat+unrolled kernels and query throughput (label: {label})\n");
 
     // ---- 1. Kernel micro-suite ---------------------------------------------
@@ -327,7 +315,11 @@ fn main() {
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 
-    let path = format!("BENCH_{label}.json");
-    std::fs::write(&path, &j).expect("writing the trajectory artifact");
-    println!("\nwrote {path}");
+    match pg_bench::write_bench_artifact(&label, label_is_default, &j) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -110,8 +110,9 @@ fn main() {
     } else {
         vec![1, 4, 16, 64, 256]
     };
-    let label =
-        value_flag("--label").unwrap_or_else(|| if smoke { "smoke".into() } else { "pr5".into() });
+    let label_flag = value_flag("--label");
+    let label_is_default = label_flag.is_none();
+    let label = label_flag.unwrap_or_else(|| if smoke { "smoke".into() } else { "pr5".into() });
     let algo_filter = value_flag("--algo");
     if let Some(a) = &algo_filter {
         assert!(
@@ -353,7 +354,11 @@ fn main() {
     let _ = writeln!(j, "  ]");
     let _ = writeln!(j, "}}");
 
-    let path = format!("BENCH_{label}.json");
-    std::fs::write(&path, &j).expect("writing the trajectory artifact");
-    println!("\nwrote {path}");
+    match pg_bench::write_bench_artifact(&label, label_is_default, &j) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -1,0 +1,410 @@
+//! **Experiment: serve** — the online serving layer under closed-loop
+//! client load: micro-batched vs unbatched latency/throughput, and
+//! snapshot hot-swap under fire.
+//!
+//! Protocol (in order, and nothing is timed until step 2 passes):
+//!
+//! 1. Build an index, save it through `pg_store`, serve it from a
+//!    `pg_serve::Server`.
+//! 2. **Correctness gate**: every TCP response — from one sequential
+//!    client and from all concurrent clients — is asserted bit-identical
+//!    to a direct `QueryEngine::batch_beam_detailed` run over the same
+//!    snapshot. A divergence aborts the experiment.
+//! 3. Closed-loop load: C client threads issue single queries as fast as
+//!    responses return, against the micro-batched server and then against
+//!    an unbatched one. Reported per mode: p50/p99 request latency and
+//!    aggregate QPS, plus the observed mean batch size.
+//! 4. Hot-swap demo: under the same load, the registry swaps between two
+//!    snapshots; the run asserts **zero** dropped or failed requests and
+//!    that every response's epoch belongs to a generation the registry
+//!    handed out.
+//!
+//! On this workspace's 1-CPU reference container the batching win comes
+//! from dispatch amortization (one pool entry per group instead of per
+//! query), not parallel execution — read the batched-vs-unbatched delta
+//! with that in mind, and always alongside the recall frontiers of
+//! `BENCH_pr5.json` (quality does not change: same engine, same answers).
+//!
+//! Results land in `BENCH_<label>.json` (schema_version 1, label `pr6` /
+//! `smoke`). Existing committed artifacts are never overwritten without
+//! `--force` or a non-default `--label`.
+//!
+//! Run: `cargo run --release -p pg_bench --bin exp_serve
+//! [--smoke | --full] [--threads N] [--clients C] [--label NAME] [--force]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pg_bench::{fmt, full_mode, init_threads, value_flag, Table};
+use pg_core::{AnyEngine, GNet, QueryEngine};
+use pg_metric::Euclidean;
+use pg_serve::client::Client;
+use pg_serve::registry::IndexRegistry;
+use pg_serve::server::{ServeConfig, Server};
+use pg_workloads as workloads;
+
+const EF: u32 = 32;
+const K: u32 = 10;
+const INDEX: &str = "main";
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct LoadOutcome {
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+    requests: u64,
+    mean_batch: f64,
+    coalesced_batches: u64,
+}
+
+/// Closed-loop load: `clients` threads, each issuing its query schedule
+/// one request at a time, recording per-request latency.
+fn closed_loop(
+    server: &Server,
+    clients: usize,
+    rounds: usize,
+    queries: &Arc<Vec<Vec<f64>>>,
+) -> LoadOutcome {
+    let before = server.stats();
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let queries = Arc::clone(queries);
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut lat = Vec::with_capacity(rounds * queries.len());
+                for round in 0..rounds {
+                    // Offset each client's schedule so the wire never sees
+                    // all clients asking the same question at once.
+                    let shift = (c * 7 + round) % queries.len();
+                    for i in 0..queries.len() {
+                        let q = &queries[(i + shift) % queries.len()];
+                        let t = Instant::now();
+                        client
+                            .query(INDEX, q, EF, K)
+                            .expect("query failed under load");
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::new();
+    for w in workers {
+        lat.extend(w.join().expect("load client panicked"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let after = server.stats();
+    lat.sort_unstable();
+    let requests = lat.len() as u64;
+    let delta_req = after.requests - before.requests;
+    let delta_batches = after.batches - before.batches;
+    LoadOutcome {
+        p50_us: percentile(&lat, 0.50) as f64 / 1_000.0,
+        p99_us: percentile(&lat, 0.99) as f64 / 1_000.0,
+        qps: requests as f64 / wall,
+        requests,
+        mean_batch: if delta_batches == 0 {
+            1.0
+        } else {
+            delta_req as f64 / delta_batches as f64
+        },
+        coalesced_batches: after.coalesced_batches - before.coalesced_batches,
+    }
+}
+
+fn main() {
+    let threads = init_threads();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = full_mode();
+    let (n, d, m, clients, rounds, swaps) = if smoke {
+        (400, 2, 32, 4, 2, 3)
+    } else if full {
+        (20_000, 3, 256, 8, 6, 12)
+    } else {
+        (6_000, 3, 128, 8, 4, 8)
+    };
+    let clients = value_flag("--clients")
+        .and_then(|v| v.parse().ok())
+        .filter(|&c| c >= 1)
+        .unwrap_or(clients);
+    let label_flag = value_flag("--label");
+    let label_is_default = label_flag.is_none();
+    let label = label_flag.unwrap_or_else(|| if smoke { "smoke".into() } else { "pr6".into() });
+
+    println!("# serve: micro-batched TCP serving, hot-swap under load");
+    println!(
+        "(n = {n}, d = {d}, m = {m} queries, {clients} client(s) x {rounds} round(s), \
+         ef = {EF}, k = {K}, {threads} thread(s), label: {label})\n"
+    );
+
+    // ---- 1. Build two snapshots (A serves; B is the swap target) -----------
+    let side = (n as f64).sqrt() * 4.0;
+    let build = |seed: u64| {
+        let data = workloads::uniform_cube_flat(n, d, side, seed).into_dataset(Euclidean);
+        let g = GNet::build_fast(&data, 1.0);
+        QueryEngine::new(g.graph, data)
+    };
+    let t0 = Instant::now();
+    let engine_a = build(11);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let engine_b = build(23);
+    let dir = std::env::temp_dir();
+    let path_a = dir.join(format!("exp_serve_a_{}.pgix", std::process::id()));
+    let path_b = dir.join(format!("exp_serve_b_{}.pgix", std::process::id()));
+    engine_a.save(&path_a).expect("saving snapshot A");
+    engine_b.save(&path_b).expect("saving snapshot B");
+    println!(
+        "built and saved two {n}-point snapshots (build: {} s each)\n",
+        fmt(build_secs, 2)
+    );
+
+    // ---- 2. Correctness gate: wire answers == direct engine answers --------
+    let queries: Arc<Vec<Vec<f64>>> = Arc::new(
+        workloads::uniform_queries_flat(m, d, 0.0, side, 31)
+            .into_rows()
+            .iter()
+            .map(|r| r.coords().to_vec())
+            .collect(),
+    );
+    // The baseline runs on the engine *as loaded from the file* — the very
+    // bytes the server serves.
+    let (direct_engine, meta) = AnyEngine::load(&path_a).expect("loading snapshot A");
+    let flat_queries: Vec<pg_metric::FlatRow> = queries
+        .iter()
+        .map(|q| pg_metric::FlatRow::from(q.clone()))
+        .collect();
+    let starts = vec![meta.entry_point; flat_queries.len()];
+    let expected =
+        direct_engine.batch_beam_detailed(&starts, &flat_queries, EF as usize, K as usize);
+    let expected_bits: Arc<Vec<Vec<(u32, u64)>>> = Arc::new(
+        expected
+            .outcomes
+            .iter()
+            .map(|o| o.results.iter().map(|&(id, x)| (id, x.to_bits())).collect())
+            .collect(),
+    );
+
+    let registry = Arc::new(IndexRegistry::new());
+    registry
+        .register_from_path(INDEX, &path_a)
+        .expect("registering snapshot A");
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), ServeConfig::default())
+        .expect("binding the batched server");
+    let addr = server.local_addr();
+
+    // Sequential gate.
+    let mut gate = Client::connect(addr).expect("gate client");
+    for (i, q) in queries.iter().enumerate() {
+        let reply = gate.query(INDEX, q, EF, K).expect("gate query");
+        let bits: Vec<(u32, u64)> = reply
+            .results
+            .iter()
+            .map(|&(id, x)| (id, x.to_bits()))
+            .collect();
+        assert_eq!(
+            bits, expected_bits[i],
+            "sequential TCP answer {i} diverged from the direct engine run"
+        );
+        assert_eq!(reply.dist_comps, expected.outcomes[i].dist_comps);
+        assert_eq!(reply.expansions, expected.outcomes[i].expansions);
+    }
+    // Concurrent gate: same assertion from every client at once, so
+    // coalesced execution is itself gated before any timing.
+    let gate_workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let queries = Arc::clone(&queries);
+            let expected_bits = Arc::clone(&expected_bits);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("gate client");
+                for (i, q) in queries.iter().enumerate() {
+                    let reply = client.query(INDEX, q, EF, K).expect("gate query");
+                    let bits: Vec<(u32, u64)> = reply
+                        .results
+                        .iter()
+                        .map(|&(id, x)| (id, x.to_bits()))
+                        .collect();
+                    assert_eq!(
+                        bits, expected_bits[i],
+                        "concurrent TCP answer {i} diverged from the direct engine run"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in gate_workers {
+        w.join().expect("a correctness-gate client failed");
+    }
+    println!(
+        "correctness gate passed: {} sequential + {} concurrent responses \
+         bit-identical to the direct engine run\n",
+        m,
+        m * clients
+    );
+
+    // ---- 3. Closed-loop load: batched vs unbatched --------------------------
+    let batched = closed_loop(&server, clients, rounds, &queries);
+    drop(server);
+
+    let registry_u = Arc::new(IndexRegistry::new());
+    registry_u
+        .register_from_path(INDEX, &path_a)
+        .expect("registering snapshot A (unbatched)");
+    let server_u = Server::bind(
+        "127.0.0.1:0",
+        registry_u,
+        ServeConfig {
+            batching: false,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("binding the unbatched server");
+    let unbatched = closed_loop(&server_u, clients, rounds, &queries);
+    drop(server_u);
+
+    let mut t = Table::new(&[
+        "mode",
+        "requests",
+        "p50 us",
+        "p99 us",
+        "QPS",
+        "mean batch",
+        "coalesced",
+    ]);
+    for (name, o) in [("batched", &batched), ("unbatched", &unbatched)] {
+        t.row(vec![
+            name.into(),
+            o.requests.to_string(),
+            fmt(o.p50_us, 1),
+            fmt(o.p99_us, 1),
+            fmt(o.qps, 0),
+            fmt(o.mean_batch, 2),
+            o.coalesced_batches.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ---- 4. Hot-swap under load ---------------------------------------------
+    let registry_s = Arc::new(IndexRegistry::new());
+    registry_s
+        .register_from_path(INDEX, &path_a)
+        .expect("registering snapshot A (swap run)");
+    let server_s = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry_s),
+        ServeConfig::default(),
+    )
+    .expect("binding the hot-swap server");
+    let addr_s = server_s.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let epochs_seen = Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+    let swap_workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let queries = Arc::clone(&queries);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            let errors = Arc::clone(&errors);
+            let epochs_seen = Arc::clone(&epochs_seen);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr_s).expect("swap client");
+                while !stop.load(Ordering::Relaxed) {
+                    for q in queries.iter() {
+                        match client.query(INDEX, q, EF, K) {
+                            Ok(reply) => {
+                                served.fetch_add(1, Ordering::Relaxed);
+                                epochs_seen.lock().unwrap().insert(reply.epoch);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(40));
+    let mut last_epoch = 0;
+    for s in 0..swaps {
+        let target = if s % 2 == 0 { &path_b } else { &path_a };
+        last_epoch = registry_s
+            .swap_from_path(INDEX, target)
+            .expect("hot-swap failed");
+        std::thread::sleep(Duration::from_millis(if smoke { 25 } else { 60 }));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in swap_workers {
+        w.join().expect("a hot-swap load client failed");
+    }
+    let served = served.load(Ordering::Relaxed);
+    let errors = errors.load(Ordering::Relaxed);
+    let epochs = epochs_seen.lock().unwrap().len();
+    drop(server_s);
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+
+    assert_eq!(
+        errors, 0,
+        "hot-swap dropped or failed requests — the zero-drop contract is broken"
+    );
+    assert!(served > 0, "the hot-swap load generator served nothing");
+    // Initial registration mints epoch 1; each swap adds one.
+    assert_eq!(last_epoch, (swaps + 1) as u64, "unexpected final epoch");
+    println!(
+        "hot-swap: {swaps} swaps under load, {served} requests served, 0 errors, \
+         {epochs} distinct epochs observed\n"
+    );
+
+    // ---- 5. Artifact ---------------------------------------------------------
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"label\": \"{label}\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"serve\": {{");
+    let _ = writeln!(
+        j,
+        "    \"n\": {n}, \"d\": {d}, \"m\": {m}, \"ef\": {EF}, \"k\": {K}, \
+         \"clients\": {clients}, \"rounds\": {rounds},"
+    );
+    for (name, o) in [("batched", &batched), ("unbatched", &unbatched)] {
+        let _ = writeln!(
+            j,
+            "    \"{name}\": {{ \"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"qps\": {}, \"mean_batch\": {}, \"coalesced_batches\": {} }},",
+            o.requests,
+            fmt(o.p50_us, 1),
+            fmt(o.p99_us, 1),
+            fmt(o.qps, 1),
+            fmt(o.mean_batch, 3),
+            o.coalesced_batches
+        );
+    }
+    let _ = writeln!(
+        j,
+        "    \"hotswap\": {{ \"swaps\": {swaps}, \"requests\": {served}, \
+         \"errors\": {errors}, \"distinct_epochs\": {epochs} }}"
+    );
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    match pg_bench::write_bench_artifact(&label, label_is_default, &j) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -225,6 +225,62 @@ pub fn init_threads() -> usize {
     rayon::current_num_threads()
 }
 
+/// True when the binary was invoked with `--force` (allow clobbering a
+/// committed `BENCH_*.json`).
+pub fn force_flag() -> bool {
+    std::env::args().any(|a| a == "--force")
+}
+
+/// The overwrite rule for committed benchmark artifacts: writing
+/// `BENCH_<label>.json` is allowed when the file does not exist yet, when
+/// `--force` was given, or when the label is not the binary's default
+/// (scratch runs under `--label mytest` never endanger committed numbers).
+///
+/// This exists because a bare re-run of an experiment binary used to
+/// silently overwrite the committed artifact of its original PR (see
+/// CHANGES.md, PR 5) — now it refuses with a pointer to `--force`.
+pub fn bench_overwrite_allowed(exists: bool, label_is_default: bool, force: bool) -> bool {
+    !exists || force || !label_is_default
+}
+
+/// Writes `BENCH_<label>.json` into the current directory, honoring
+/// [`bench_overwrite_allowed`] (with `--force` read from the arguments).
+/// On refusal, returns an error message for the binary to print before
+/// exiting non-zero.
+pub fn write_bench_artifact(
+    label: &str,
+    label_is_default: bool,
+    json: &str,
+) -> Result<std::path::PathBuf, String> {
+    write_bench_artifact_in(
+        std::path::Path::new("."),
+        label,
+        label_is_default,
+        force_flag(),
+        json,
+    )
+}
+
+/// Core of [`write_bench_artifact`], parameterized for testability.
+pub fn write_bench_artifact_in(
+    dir: &std::path::Path,
+    label: &str,
+    label_is_default: bool,
+    force: bool,
+    json: &str,
+) -> Result<std::path::PathBuf, String> {
+    let path = dir.join(format!("BENCH_{label}.json"));
+    if !bench_overwrite_allowed(path.exists(), label_is_default, force) {
+        return Err(format!(
+            "refusing to overwrite existing {}: pass --force to replace the committed \
+             artifact, or use --label <name> for a scratch run",
+            path.display()
+        ));
+    }
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +364,45 @@ mod tests {
             parse_value_flag(&to_args(&["exp", "--save-index=--odd"]), "--save-index"),
             Some("--odd".to_string())
         );
+    }
+
+    #[test]
+    fn overwrite_guard_truth_table() {
+        // (exists, default label, force) → allowed.
+        assert!(bench_overwrite_allowed(false, true, false)); // first write
+        assert!(bench_overwrite_allowed(false, false, false));
+        assert!(bench_overwrite_allowed(true, true, true)); // forced
+        assert!(bench_overwrite_allowed(true, false, false)); // scratch label
+                                                              // The regression case (PR 5): a bare re-run with the default label
+                                                              // over a committed artifact is the one refused combination.
+        assert!(!bench_overwrite_allowed(true, true, false));
+    }
+
+    #[test]
+    fn write_bench_artifact_refuses_then_obeys_force_and_scratch_labels() {
+        let dir = std::env::temp_dir().join(format!("pg_bench_guard_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // First default-label write lands.
+        let p = write_bench_artifact_in(&dir, "pr0", true, false, "{\"a\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"a\":1}");
+
+        // A bare re-run is refused and the committed bytes survive.
+        let err = write_bench_artifact_in(&dir, "pr0", true, false, "{\"a\":2}").unwrap_err();
+        assert!(
+            err.contains("--force"),
+            "message must point at --force: {err}"
+        );
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"a\":1}");
+
+        // --force replaces; a non-default label writes beside it freely.
+        write_bench_artifact_in(&dir, "pr0", true, true, "{\"a\":3}").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "{\"a\":3}");
+        let scratch = write_bench_artifact_in(&dir, "scratch", false, false, "{}").unwrap();
+        write_bench_artifact_in(&dir, "scratch", false, false, "{\"b\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&scratch).unwrap(), "{\"b\":1}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

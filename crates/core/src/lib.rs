@@ -69,5 +69,5 @@ pub use merged::{MergedGraph, MergedParams};
 pub use navigability::{check_navigable, check_pg_exhaustive, Starts, Violation};
 pub use params::GNetParams;
 pub use search::{beam_search, beam_search_detailed, greedy, query, BeamOutcome, GreedyOutcome};
-pub use snapshot::SnapshotMetric;
+pub use snapshot::{AnyEngine, SnapshotMetric};
 pub use theta::{ConeSet, ThetaGraph};

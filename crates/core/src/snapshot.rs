@@ -112,6 +112,176 @@ impl From<GNetParams> for BuildParams {
     }
 }
 
+/// A loaded engine whose metric is known only at run time — the engine
+/// surface a serving process shares and hot-swaps.
+///
+/// A snapshot file records its metric as a [`MetricTag`]; a server that
+/// loads whatever file it is pointed at cannot pick the
+/// `QueryEngine<FlatRow, M>` type parameter at compile time. `AnyEngine`
+/// closes that gap: [`AnyEngine::load`] dispatches on the stored tag and
+/// wraps the correctly-typed engine, and the batch entry points forward to
+/// the inner [`QueryEngine`] — so every determinism and parity guarantee
+/// (bit-identical results at any thread count, sequential-equivalent
+/// outcomes) carries over verbatim.
+///
+/// This is the type `pg_serve` keeps behind its `Arc`-swapped serving
+/// cells: one `Arc<AnyEngine>` is cheap to clone per in-flight request,
+/// and replacing the `Arc` atomically switches traffic to a new snapshot
+/// while old requests finish on the old engine.
+///
+/// ```
+/// use pg_core::engine::QueryEngine;
+/// use pg_core::snapshot::AnyEngine;
+/// use pg_core::GNet;
+/// use pg_metric::{Euclidean, FlatPoints};
+/// use pg_store::MetricTag;
+///
+/// let mut points = FlatPoints::new(2);
+/// for i in 0..40 {
+///     points.push(&[i as f64, (i % 5) as f64]);
+/// }
+/// let data = points.into_dataset(Euclidean);
+/// let pg = GNet::build(&data, 1.0);
+/// let engine = QueryEngine::new(pg.graph, data);
+///
+/// let path = std::env::temp_dir().join(format!("pg_any_doc_{}.pgix", std::process::id()));
+/// engine.save(&path).unwrap();
+/// let (any, meta) = AnyEngine::load(&path).unwrap();
+/// std::fs::remove_file(&path).unwrap();
+/// assert_eq!(any.metric(), MetricTag::Euclidean);
+/// assert_eq!(any.len(), 40);
+/// assert_eq!(any.dims(), 2);
+///
+/// let queries = vec![vec![7.2, 1.0].into()];
+/// let batch = any.batch_beam(&[meta.entry_point], &queries, 8, 3);
+/// assert_eq!(batch.results.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnyEngine {
+    /// An engine over `L_2` ([`MetricTag::Euclidean`]).
+    Euclidean(QueryEngine<FlatRow, Euclidean>),
+    /// An engine over `L_1` ([`MetricTag::Manhattan`]).
+    Manhattan(QueryEngine<FlatRow, Manhattan>),
+    /// An engine over `L_inf` ([`MetricTag::Chebyshev`]).
+    Chebyshev(QueryEngine<FlatRow, Chebyshev>),
+}
+
+/// Forwards a method call to whichever typed engine the enum holds.
+macro_rules! dispatch {
+    ($self:expr, $e:pat => $body:expr) => {
+        match $self {
+            AnyEngine::Euclidean($e) => $body,
+            AnyEngine::Manhattan($e) => $body,
+            AnyEngine::Chebyshev($e) => $body,
+        }
+    };
+}
+
+impl AnyEngine {
+    /// Loads an engine from a snapshot file, dispatching on the metric tag
+    /// recorded in the file — the run-time-typed counterpart of
+    /// [`QueryEngine::load_with_meta`]. Fails with a typed
+    /// [`SnapshotError`], never a panic.
+    pub fn load(path: impl AsRef<Path>) -> Result<(Self, IndexMeta), SnapshotError> {
+        Self::from_snapshot(Snapshot::load(path)?)
+    }
+
+    /// Reconstructs an engine from an in-memory [`Snapshot`], dispatching on
+    /// its metric tag (see [`QueryEngine::from_snapshot`] for the
+    /// validation performed per metric).
+    pub fn from_snapshot(snap: Snapshot) -> Result<(Self, IndexMeta), SnapshotError> {
+        match snap.meta.metric {
+            MetricTag::Euclidean => QueryEngine::<FlatRow, Euclidean>::from_snapshot(snap)
+                .map(|(e, m)| (AnyEngine::Euclidean(e), m)),
+            MetricTag::Manhattan => QueryEngine::<FlatRow, Manhattan>::from_snapshot(snap)
+                .map(|(e, m)| (AnyEngine::Manhattan(e), m)),
+            MetricTag::Chebyshev => QueryEngine::<FlatRow, Chebyshev>::from_snapshot(snap)
+                .map(|(e, m)| (AnyEngine::Chebyshev(e), m)),
+        }
+    }
+
+    /// The metric the wrapped engine computes distances under.
+    pub fn metric(&self) -> MetricTag {
+        match self {
+            AnyEngine::Euclidean(_) => MetricTag::Euclidean,
+            AnyEngine::Manhattan(_) => MetricTag::Manhattan,
+            AnyEngine::Chebyshev(_) => MetricTag::Chebyshev,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        dispatch!(self, e => e.data().len())
+    }
+
+    /// Always false: snapshots of empty indexes do not exist
+    /// (`Snapshot::validate` rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point dimensionality — the coordinate count every query must match.
+    pub fn dims(&self) -> usize {
+        dispatch!(self, e => e.data().point(0).dim())
+    }
+
+    /// The worker count batch calls use (see [`QueryEngine::threads`]).
+    pub fn threads(&self) -> usize {
+        dispatch!(self, e => e.threads())
+    }
+
+    /// Overrides the worker count (see [`QueryEngine::with_threads`]).
+    pub fn with_threads(self, threads: usize) -> Self {
+        match self {
+            AnyEngine::Euclidean(e) => AnyEngine::Euclidean(e.with_threads(threads)),
+            AnyEngine::Manhattan(e) => AnyEngine::Manhattan(e.with_threads(threads)),
+            AnyEngine::Chebyshev(e) => AnyEngine::Chebyshev(e.with_threads(threads)),
+        }
+    }
+
+    /// Forwards to [`QueryEngine::batch_beam`] on the wrapped engine.
+    pub fn batch_beam(
+        &self,
+        starts: &[u32],
+        queries: &[FlatRow],
+        ef: usize,
+        k: usize,
+    ) -> crate::engine::BatchBeamOutcome {
+        dispatch!(self, e => e.batch_beam(starts, queries, ef, k))
+    }
+
+    /// Forwards to [`QueryEngine::batch_beam_detailed`] on the wrapped
+    /// engine — the serving path, so every response can carry its own
+    /// `dist_comps`/`expansions`.
+    pub fn batch_beam_detailed(
+        &self,
+        starts: &[u32],
+        queries: &[FlatRow],
+        ef: usize,
+        k: usize,
+    ) -> crate::engine::BatchBeamDetail {
+        dispatch!(self, e => e.batch_beam_detailed(starts, queries, ef, k))
+    }
+}
+
+impl From<QueryEngine<FlatRow, Euclidean>> for AnyEngine {
+    fn from(e: QueryEngine<FlatRow, Euclidean>) -> Self {
+        AnyEngine::Euclidean(e)
+    }
+}
+
+impl From<QueryEngine<FlatRow, Manhattan>> for AnyEngine {
+    fn from(e: QueryEngine<FlatRow, Manhattan>) -> Self {
+        AnyEngine::Manhattan(e)
+    }
+}
+
+impl From<QueryEngine<FlatRow, Chebyshev>> for AnyEngine {
+    fn from(e: QueryEngine<FlatRow, Chebyshev>) -> Self {
+        AnyEngine::Chebyshev(e)
+    }
+}
+
 impl<P: AsRef<[f64]>, M: Metric<P> + SnapshotMetric> QueryEngine<P, M> {
     /// Extracts the raw [`Snapshot`] of this engine: the graph's CSR arrays
     /// plus all point coordinates flattened row-major. Works for any point
@@ -387,6 +557,81 @@ mod tests {
         let (engine, _) = flat_engine(20, 1);
         let err = engine.to_snapshot(20, None).unwrap_err();
         assert!(matches!(err, SnapshotError::Invalid { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn any_engine_loads_each_metric_and_answers_like_the_typed_engine() {
+        let points = FlatPoints::from_fn(60, 2, |i, out| {
+            out.extend([((i * 13) % 41) as f64, (i % 9) as f64]);
+        });
+        let queries: Vec<FlatRow> = (0..8)
+            .map(|i| FlatRow::from(vec![(i * 5) as f64, (i % 3) as f64]))
+            .collect();
+        let starts = vec![0u32; queries.len()];
+
+        // One roundtrip per metric: the tag in the file picks the variant.
+        macro_rules! check_metric {
+            ($metric:expr, $tag:expr, $variant:path) => {{
+                let data = points.clone().into_dataset($metric);
+                let g = GNet::build(&data, 1.0);
+                let engine = QueryEngine::new(g.graph, data);
+                let path = temp(&format!("any_{}", $tag.code()));
+                engine.save(&path).unwrap();
+                let (any, meta) = AnyEngine::load(&path).unwrap();
+                std::fs::remove_file(&path).unwrap();
+                assert_eq!(any.metric(), $tag);
+                assert_eq!(meta.metric, $tag);
+                assert_eq!(any.len(), 60);
+                assert_eq!(any.dims(), 2);
+                assert!(matches!(any, $variant(_)));
+                // Answers forward bit-identically to the typed engine.
+                let direct = engine.batch_beam_detailed(&starts, &queries, 8, 3);
+                let through = any.batch_beam_detailed(&starts, &queries, 8, 3);
+                assert_eq!(through.outcomes, direct.outcomes);
+                assert_eq!(through.dist_comps, direct.dist_comps);
+                let beam = any.batch_beam(&starts, &queries, 8, 3);
+                assert_eq!(
+                    beam.results,
+                    direct
+                        .outcomes
+                        .iter()
+                        .map(|o| o.results.clone())
+                        .collect::<Vec<_>>()
+                );
+            }};
+        }
+        check_metric!(Euclidean, MetricTag::Euclidean, AnyEngine::Euclidean);
+        check_metric!(Manhattan, MetricTag::Manhattan, AnyEngine::Manhattan);
+        check_metric!(Chebyshev, MetricTag::Chebyshev, AnyEngine::Chebyshev);
+    }
+
+    #[test]
+    fn any_engine_thread_override_does_not_change_answers() {
+        let (engine, _) = flat_engine(70, 21);
+        let path = temp("any_threads");
+        engine.save(&path).unwrap();
+        let (any, _) = AnyEngine::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let queries: Vec<FlatRow> = (0..12)
+            .map(|i| FlatRow::from(vec![(i * 7 % 50) as f64, (i % 4) as f64]))
+            .collect();
+        let starts: Vec<u32> = (0..12).map(|i| (i * 11 % 70) as u32).collect();
+        let base = any
+            .clone()
+            .with_threads(1)
+            .batch_beam_detailed(&starts, &queries, 6, 2);
+        for t in [2, 8] {
+            let par = any.clone().with_threads(t);
+            assert_eq!(par.threads(), t);
+            let got = par.batch_beam_detailed(&starts, &queries, 6, 2);
+            assert_eq!(got.outcomes, base.outcomes, "diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn any_engine_load_propagates_typed_errors() {
+        let err = AnyEngine::load("/definitely/not/a/real/path.pgix").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "got {err:?}");
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Micro-batching: coalescing concurrent single queries into one
+//! `batch_beam` dispatch.
+//!
+//! Every connection thread that receives a query enqueues a [`Pending`]
+//! and blocks on its private reply channel. A single dispatcher thread
+//! drains the queue — everything that accumulated while the previous batch
+//! ran, up to `max_batch` — groups the drained requests by
+//! `(index generation, ef, k)`, and runs **one**
+//! [`batch_beam_detailed`](pg_core::AnyEngine::batch_beam_detailed) call
+//! per group. Under concurrent load the queue naturally holds several
+//! requests by the time the dispatcher returns, so per-dispatch overhead
+//! (thread-pool entry, engine resolution) amortizes across the batch; this
+//! is the classic closed-loop coalescing effect, measured by `exp_serve`.
+//!
+//! Two properties make coalescing safe:
+//!
+//! * **Answers cannot change.** `batch_beam` runs each query independently
+//!   — outcome `i` is exactly `beam_search(graph, data, starts[i],
+//!   &queries[i], ef, k)` — so a query answered in a batch of 40 returns
+//!   bit-identical results to the same query answered alone (pinned by
+//!   `tests/equivalence.rs`).
+//! * **Hot-swap atomicity is preserved.** The serving generation is
+//!   resolved at *enqueue* time and carried in the [`Pending`]: a swap that
+//!   lands while a request waits in the queue does not retarget it, so
+//!   every answer is attributable to exactly one snapshot epoch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use pg_metric::FlatRow;
+
+use crate::error::ServeError;
+use crate::protocol::QueryReply;
+use crate::registry::ServingIndex;
+
+/// One enqueued query: the generation that will answer it (resolved at
+/// enqueue time), the query itself, and the channel the caller blocks on.
+pub struct Pending {
+    /// The snapshot generation this query is pinned to.
+    pub index: Arc<ServingIndex>,
+    /// The query point.
+    pub query: FlatRow,
+    /// Beam width.
+    pub ef: u32,
+    /// Result count.
+    pub k: u32,
+    /// Where the dispatcher sends the answer.
+    pub reply: mpsc::Sender<Result<QueryReply, ServeError>>,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("epoch", &self.index.epoch())
+            .field("ef", &self.ef)
+            .field("k", &self.k)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Answers one query directly on its pinned generation — the unbatched
+/// serving path, and the per-request body the dispatcher replicates per
+/// batch group. Keeping it as the single shared implementation is what
+/// makes batched and unbatched responses structurally identical.
+pub fn run_single(index: &ServingIndex, query: FlatRow, ef: u32, k: u32) -> QueryReply {
+    let starts = [index.entry()];
+    let queries = [query];
+    let detail = index
+        .engine()
+        .batch_beam_detailed(&starts, &queries, ef as usize, k as usize);
+    let outcome = detail.outcomes.into_iter().next().expect("one query in");
+    QueryReply {
+        epoch: index.epoch(),
+        dist_comps: outcome.dist_comps,
+        expansions: outcome.expansions,
+        results: outcome.results,
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    coalesced_batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// A point-in-time snapshot of the dispatcher's counters — how `exp_serve`
+/// and the equivalence tests assert that coalescing actually happened
+/// (rather than every query riding alone in a batch of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatcherStats {
+    /// Queries answered through the queue.
+    pub requests: u64,
+    /// `batch_beam` dispatches issued.
+    pub batches: u64,
+    /// Dispatches that coalesced more than one query.
+    pub coalesced_batches: u64,
+    /// Largest single dispatch.
+    pub max_batch: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: Mutex<Vec<Pending>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    stats: StatsInner,
+}
+
+/// The dispatcher: one worker thread draining the shared queue. Dropping
+/// the batcher shuts the worker down after it has answered everything
+/// still queued — shutdown never drops an accepted request.
+#[derive(Debug)]
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the dispatcher thread. `max_batch` caps how many queued
+    /// requests one dispatch may coalesce (bounding per-batch latency).
+    pub fn start(max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: StatsInner::default(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("pg-serve-batcher".into())
+            .spawn(move || dispatch_loop(&worker_shared, max_batch))
+            .expect("spawning the dispatcher thread");
+        Batcher {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Enqueues a query and wakes the dispatcher. Fails with
+    /// [`ServeError::ShuttingDown`] once shutdown has begun.
+    pub fn submit(&self, pending: Pending) -> Result<(), ServeError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        queue.push(pending);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues several queries under one lock acquisition, then wakes the
+    /// dispatcher once. Because the dispatcher only drains while holding
+    /// the same lock, everything submitted here lands in the queue
+    /// together — so the group is **guaranteed** to coalesce (in chunks of
+    /// at most `max_batch`), which makes batching effects testable without
+    /// racing the dispatcher.
+    pub fn submit_many(&self, pendings: Vec<Pending>) -> Result<(), ServeError> {
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        queue.extend(pendings);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues a query and blocks until its answer arrives — the
+    /// convenience wrapper connection handlers use.
+    pub fn run(
+        &self,
+        index: Arc<ServingIndex>,
+        query: FlatRow,
+        ef: u32,
+        k: u32,
+    ) -> Result<QueryReply, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(Pending {
+            index,
+            query,
+            ef,
+            k,
+            reply: tx,
+        })?;
+        match rx.recv() {
+            Ok(result) => result,
+            // The dispatcher dropped the sender without replying — only
+            // possible if it panicked mid-batch.
+            Err(_) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Snapshot of the coalescing counters.
+    pub fn stats(&self) -> BatcherStats {
+        let s = &self.shared.stats;
+        BatcherStats {
+            requests: s.requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            coalesced_batches: s.coalesced_batches.load(Ordering::Relaxed),
+            max_batch: s.max_batch.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn dispatch_loop(shared: &Shared, max_batch: usize) {
+    loop {
+        let drained: Vec<Pending> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            let take = queue.len().min(max_batch);
+            queue.drain(..take).collect()
+        };
+        record_batch(&shared.stats, drained.len());
+        run_batch(drained);
+    }
+}
+
+fn record_batch(stats: &StatsInner, size: usize) {
+    stats.requests.fetch_add(size as u64, Ordering::Relaxed);
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    if size > 1 {
+        stats.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+    }
+    stats.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+}
+
+/// Groups a drained batch by `(generation, ef, k)` and issues one engine
+/// dispatch per group, then routes each answer back to its requester.
+fn run_batch(drained: Vec<Pending>) {
+    // Group while preserving arrival order within each group. The key is
+    // the generation's pointer identity: two requests pinned to the same
+    // Arc<ServingIndex> share an engine, an entry point, and an epoch.
+    let mut groups: Vec<(usize, u32, u32, Vec<Pending>)> = Vec::new();
+    for p in drained {
+        let key = Arc::as_ptr(&p.index) as usize;
+        match groups
+            .iter_mut()
+            .find(|(ptr, ef, k, _)| *ptr == key && *ef == p.ef && *k == p.k)
+        {
+            Some((_, _, _, members)) => members.push(p),
+            None => groups.push((key, p.ef, p.k, vec![p])),
+        }
+    }
+    for (_, ef, k, members) in groups {
+        let index = Arc::clone(&members[0].index);
+        let starts = vec![index.entry(); members.len()];
+        let queries: Vec<FlatRow> = members.iter().map(|p| p.query.clone()).collect();
+        let detail = index
+            .engine()
+            .batch_beam_detailed(&starts, &queries, ef as usize, k as usize);
+        for (pending, outcome) in members.into_iter().zip(detail.outcomes) {
+            // A send failure means the requester hung up (connection died
+            // while waiting); the answer is simply discarded.
+            let _ = pending.reply.send(Ok(QueryReply {
+                epoch: index.epoch(),
+                dist_comps: outcome.dist_comps,
+                expansions: outcome.expansions,
+                results: outcome.results,
+            }));
+        }
+    }
+}

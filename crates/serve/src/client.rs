@@ -1,0 +1,102 @@
+//! A blocking client for the serving protocol.
+//!
+//! One [`Client`] wraps one TCP connection and speaks strict
+//! request/response: encode a frame, write it, read exactly one frame
+//! back. Error frames from the server come back as
+//! [`ServeError::Remote`] with the wire [`ErrorCode`](crate::error::ErrorCode)
+//! and the server's message — the connection stays usable afterwards
+//! (unless the error was a framing failure the server had to close on).
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::{malformed, ServeError};
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, IndexInfo, QueryReply, Request,
+    Response,
+};
+
+/// A connected client. Not thread-safe by design — one connection carries
+/// one request at a time; open more clients for concurrency (that is what
+/// makes the server's micro-batching observable in the first place).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends a pre-encoded frame and decodes the response frame — the raw
+    /// escape hatch the corruption tests use to put arbitrary bytes on the
+    /// wire and observe the server's typed reaction.
+    pub fn call_raw(&mut self, frame: &[u8]) -> Result<Response, ServeError> {
+        write_frame(&mut self.stream, frame)?;
+        let reply = read_frame(&mut self.stream)?;
+        decode_response(&reply)
+    }
+
+    /// Sends one request and returns the server's response, mapping error
+    /// frames to [`ServeError::Remote`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
+        match self.call_raw(&encode_request(request))? {
+            Response::Error { code, message } => Err(ServeError::Remote { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Runs one `k`-NN query against the named index.
+    pub fn query(
+        &mut self,
+        index: &str,
+        coords: &[f64],
+        ef: u32,
+        k: u32,
+    ) -> Result<QueryReply, ServeError> {
+        let request = Request::Query {
+            index: index.into(),
+            ef,
+            k,
+            coords: coords.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::Query(reply) => Ok(reply),
+            other => Err(unexpected("QueryOk", &other)),
+        }
+    }
+
+    /// Fetches metadata for the named index.
+    pub fn info(&mut self, index: &str) -> Result<IndexInfo, ServeError> {
+        let request = Request::Info {
+            index: index.into(),
+        };
+        match self.call(&request)? {
+            Response::Info(info) => Ok(info),
+            other => Err(unexpected("InfoOk", &other)),
+        }
+    }
+
+    /// Lists the registered index names (sorted).
+    pub fn list(&mut self) -> Result<Vec<String>, ServeError> {
+        match self.call(&Request::ListIndexes)? {
+            Response::IndexList(names) => Ok(names),
+            other => Err(unexpected("IndexList", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    malformed(format!("expected a {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,83 @@
+//! Online serving for proximity-graph indexes: a dependency-free TCP
+//! server with micro-batched queries, snapshot hot-swap, and multi-index
+//! tenancy.
+//!
+//! The offline half of this workspace builds indexes (`pg_core`) and
+//! persists them (`pg_store`); this crate is the online half that answers
+//! queries over the network. Everything is `std`-only —
+//! [`std::net::TcpListener`], threads, channels — in keeping with the
+//! workspace's no-external-dependencies rule.
+//!
+//! # The pieces
+//!
+//! * [`protocol`] — versioned, length-prefixed, FNV-checksummed binary
+//!   frames (the byte-level spec lives in `ARCHITECTURE.md` § "Serving
+//!   protocol"). Decoding is total: malformed bytes produce a typed
+//!   [`ServeError`], never a panic.
+//! * [`registry`] — named serving cells with atomic `Arc` hot-swap: a new
+//!   snapshot replaces an old one under live traffic with zero dropped
+//!   requests, and every response carries the epoch of the generation that
+//!   answered it.
+//! * [`batcher`] — micro-batching: concurrent single queries coalesce into
+//!   one [`batch_beam`](pg_core::AnyEngine::batch_beam) dispatch,
+//!   amortizing per-dispatch overhead without changing any answer.
+//! * [`server`] / [`client`] — the blocking TCP endpoints. A request that
+//!   fails — malformed frame, unknown index, wrong dimensionality — costs
+//!   its sender an error frame, not the connection.
+//!
+//! Serving answers are **bit-identical** to a direct
+//! [`QueryEngine::batch_beam`](pg_core::QueryEngine::batch_beam) run over
+//! the same snapshot (pinned by `tests/equivalence.rs`), so every
+//! determinism guarantee from the engine layer — identical results at any
+//! thread count, sequential-equivalent outcomes — extends to the wire.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use pg_core::engine::QueryEngine;
+//! use pg_core::GNet;
+//! use pg_metric::{Euclidean, FlatPoints};
+//! use pg_serve::client::Client;
+//! use pg_serve::registry::IndexRegistry;
+//! use pg_serve::server::{ServeConfig, Server};
+//!
+//! // Offline: build an index.
+//! let mut points = FlatPoints::new(2);
+//! for i in 0..60 {
+//!     points.push(&[i as f64, (i % 5) as f64]);
+//! }
+//! let data = points.into_dataset(Euclidean);
+//! let pg = GNet::build(&data, 1.0);
+//! let engine = QueryEngine::new(pg.graph, data);
+//!
+//! // Online: register it and serve.
+//! let registry = Arc::new(IndexRegistry::new());
+//! registry.register("main", engine, 0).unwrap();
+//! let server = Server::bind("127.0.0.1:0", Arc::clone(&registry), ServeConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! let reply = client.query("main", &[17.3, 2.2], 16, 3).unwrap();
+//! assert_eq!(reply.results.len(), 3);
+//! assert_eq!(reply.epoch, 1);
+//! assert_eq!(client.list().unwrap(), vec!["main".to_string()]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{Batcher, BatcherStats, Pending};
+pub use client::Client;
+pub use error::{ErrorCode, ServeError};
+pub use protocol::{IndexInfo, QueryReply, Request, Response, PROTOCOL_VERSION};
+pub use registry::{IndexRegistry, ServingIndex};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,671 @@
+//! The wire protocol: versioned, length-prefixed, checksummed frames.
+//!
+//! One frame is one request or one response. Everything is
+//! **little-endian**, and the layout is fixed:
+//!
+//! ```text
+//! offset  size          field
+//! 0       4             frame_len: u32   — bytes that follow this field
+//! 4       frame_len-8   payload          — version: u8, kind: u8, body
+//! 4+len-8 8             checksum: u64    — FNV-1a 64 of the payload
+//! ```
+//!
+//! The checksum is [`pg_store::checksum`] — the same FNV-1a 64 every
+//! on-disk format in this workspace uses, so one implementation of the
+//! hash validates snapshots, ground-truth caches, and network frames
+//! alike. The checksum is verified **before** the version or kind byte is
+//! interpreted, mirroring `pg_store`'s section gates: corrupt bytes fail
+//! as corruption, not as whatever structure they happen to resemble.
+//!
+//! Frame kinds `0..=127` are requests, `128..=255` are responses (see
+//! [`Request`] and [`Response`] for the per-kind body layouts, documented
+//! field by field in `ARCHITECTURE.md` § "Serving protocol"). Decoding is
+//! **total**: any byte sequence either parses completely or returns a
+//! typed [`ServeError`] — no panic, no partial value — pinned by the
+//! exhaustive truncation/byte-flip suite in `tests/corruption.rs`.
+//!
+//! ```
+//! use pg_serve::protocol::{decode_request, encode_request, Request};
+//!
+//! let req = Request::Query {
+//!     index: "main".into(),
+//!     ef: 32,
+//!     k: 10,
+//!     coords: vec![1.0, 2.5],
+//! };
+//! let frame = encode_request(&req);
+//! assert_eq!(decode_request(&frame).unwrap(), req);
+//! ```
+
+use std::io::{Read, Write};
+
+use pg_store::checksum;
+
+use crate::error::{malformed, ErrorCode, ServeError};
+
+/// The protocol version this crate speaks. Readers accept exactly the
+/// versions they know and reject anything else with
+/// [`ServeError::UnsupportedVersion`] — a new layout means a version bump,
+/// never a silent reinterpretation (the `pg_store` versioning rule).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on the declared `frame_len` (16 MiB). A peer announcing
+/// more is answered with [`ServeError::FrameTooLarge`] and the connection
+/// closes: past a refused length there is no way to resync the stream.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// The smallest legal `frame_len`: a version byte, a kind byte, and the
+/// 8-byte checksum.
+pub const MIN_FRAME_LEN: u32 = 2 + 8;
+
+/// Bytes of the `frame_len` prefix itself.
+pub const LEN_PREFIX: usize = 4;
+
+// Frame kinds. Requests are 0..=127, responses 128..=255; codes are frozen
+// forever (new message types append new codes).
+const KIND_PING: u8 = 0;
+const KIND_QUERY: u8 = 1;
+const KIND_INFO: u8 = 2;
+const KIND_LIST: u8 = 3;
+const KIND_PONG: u8 = 128;
+const KIND_QUERY_OK: u8 = 129;
+const KIND_INFO_OK: u8 = 130;
+const KIND_LIST_OK: u8 = 131;
+const KIND_ERROR: u8 = 132;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the server answers [`Response::Pong`].
+    /// Body: empty.
+    Ping,
+    /// A single `k`-NN query against the named index.
+    /// Body: `index` string, `ef: u32`, `k: u32`, `dims: u32`,
+    /// `dims × f64` coordinates.
+    Query {
+        /// The tenant index to route to.
+        index: String,
+        /// Beam width (see `pg_core::beam_search`).
+        ef: u32,
+        /// Number of neighbors to return.
+        k: u32,
+        /// The query point.
+        coords: Vec<f64>,
+    },
+    /// Metadata about the named index (answered with [`Response::Info`]).
+    /// Body: `index` string.
+    Info {
+        /// The tenant index to describe.
+        index: String,
+    },
+    /// The sorted list of registered index names.
+    /// Body: empty.
+    ListIndexes,
+}
+
+/// The payload of a successful query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The snapshot generation that answered (see
+    /// `pg_serve::registry::IndexRegistry`): strictly increasing per
+    /// hot-swap, so a client — or the hot-swap test — can attribute every
+    /// answer to exactly one snapshot.
+    pub epoch: u64,
+    /// Distance computations this query cost.
+    pub dist_comps: u64,
+    /// Vertices whose neighbor list was scanned.
+    pub expansions: u64,
+    /// `(id, dist)` pairs, ascending by distance with ties by id — exactly
+    /// the order `QueryEngine::batch_beam` returns.
+    pub results: Vec<(u32, f64)>,
+}
+
+/// The payload of an index-info response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexInfo {
+    /// Current snapshot generation.
+    pub epoch: u64,
+    /// Number of indexed points.
+    pub n: u64,
+    /// Point dimensionality.
+    pub dims: u32,
+    /// The `pg_store::MetricTag` code of the index's metric.
+    pub metric_code: u32,
+    /// The routing entry point queries start from.
+    pub entry_point: u32,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`]. Body: empty.
+    Pong,
+    /// Answer to [`Request::Query`]. Body: `epoch: u64`,
+    /// `dist_comps: u64`, `expansions: u64`, `count: u32`,
+    /// `count × (id: u32, dist: f64)`.
+    Query(QueryReply),
+    /// Answer to [`Request::Info`]. Body: `epoch: u64`, `n: u64`,
+    /// `dims: u32`, `metric_code: u32`, `entry_point: u32`.
+    Info(IndexInfo),
+    /// Answer to [`Request::ListIndexes`]. Body: `count: u32`, then
+    /// `count` strings.
+    IndexList(Vec<String>),
+    /// The request failed. Body: `code: u16` ([`ErrorCode`]), message
+    /// string. The connection stays open unless the error is a framing
+    /// failure the stream cannot recover from.
+    Error {
+        /// The typed failure class.
+        code: ErrorCode,
+        /// The server's rendering of its local error.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders / decoders
+// ---------------------------------------------------------------------------
+
+fn push_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "string field too long");
+    push_u16(buf, s.len() as u16);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], ServeError> {
+        if self.bytes.len() - self.pos < len {
+            return Err(ServeError::Truncated { context });
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, ServeError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, ServeError> {
+        let len = self.u16(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed(format!("{context} is not UTF-8")))
+    }
+
+    fn finish(&self, what: &'static str) -> Result<(), ServeError> {
+        if self.pos != self.bytes.len() {
+            return Err(malformed(format!(
+                "{} trailing bytes after {what}",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+/// Wraps `kind` + `body` in a complete frame: length prefix, version and
+/// kind bytes, payload checksum.
+fn encode_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let payload_len = 2 + body.len();
+    let frame_len = (payload_len + 8) as u32;
+    debug_assert!(frame_len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+    let mut out = Vec::with_capacity(LEN_PREFIX + frame_len as usize);
+    push_u32(&mut out, frame_len);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    out.extend_from_slice(body);
+    let sum = checksum(&out[LEN_PREFIX..LEN_PREFIX + payload_len]);
+    push_u64(&mut out, sum);
+    out
+}
+
+/// Splits one complete frame into its kind byte and body slice, verifying
+/// the length bounds, the checksum (before anything else is interpreted),
+/// and the version byte. `frame` must be exactly one frame — trailing
+/// bytes are an error, so a corrupted length prefix cannot silently
+/// re-segment the stream.
+fn decode_frame(frame: &[u8]) -> Result<(u8, &[u8]), ServeError> {
+    let mut cur = Cursor::new(frame);
+    let frame_len = cur.u32("frame length")?;
+    if frame_len < MIN_FRAME_LEN {
+        return Err(malformed(format!(
+            "declared frame length {frame_len} is below the {MIN_FRAME_LEN}-byte minimum"
+        )));
+    }
+    if frame_len > MAX_FRAME_LEN {
+        return Err(ServeError::FrameTooLarge {
+            len: frame_len as u64,
+        });
+    }
+    let rest = cur.take(frame_len as usize, "frame payload")?;
+    cur.finish("the frame")?;
+    let (payload, stored) = rest.split_at(rest.len() - 8);
+    let stored = u64::from_le_bytes(stored.try_into().unwrap());
+    if checksum(payload) != stored {
+        return Err(ServeError::ChecksumMismatch);
+    }
+    let version = payload[0];
+    if version != PROTOCOL_VERSION {
+        return Err(ServeError::UnsupportedVersion { found: version });
+    }
+    Ok((payload[1], &payload[2..]))
+}
+
+/// Writes a pre-encoded frame to a sink in one call.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads exactly one frame from a blocking stream: the 4-byte length
+/// prefix, then the declared remainder. A clean EOF **at** a frame
+/// boundary is [`ServeError::ConnectionClosed`]; EOF mid-frame is
+/// [`ServeError::Truncated`]. Length bounds are enforced before the body
+/// is read, so a hostile prefix cannot force a 4 GiB allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..])? {
+            0 if filled == 0 => return Err(ServeError::ConnectionClosed),
+            0 => {
+                return Err(ServeError::Truncated {
+                    context: "frame length",
+                })
+            }
+            got => filled += got,
+        }
+    }
+    let frame_len = u32::from_le_bytes(prefix);
+    if frame_len < MIN_FRAME_LEN {
+        return Err(malformed(format!(
+            "declared frame length {frame_len} is below the {MIN_FRAME_LEN}-byte minimum"
+        )));
+    }
+    if frame_len > MAX_FRAME_LEN {
+        return Err(ServeError::FrameTooLarge {
+            len: frame_len as u64,
+        });
+    }
+    let mut frame = vec![0u8; LEN_PREFIX + frame_len as usize];
+    frame[..LEN_PREFIX].copy_from_slice(&prefix);
+    r.read_exact(&mut frame[LEN_PREFIX..])
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => ServeError::Truncated {
+                context: "frame payload",
+            },
+            _ => ServeError::Io(e),
+        })?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Encodes a request as one complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Ping => encode_frame(KIND_PING, &[]),
+        Request::Query {
+            index,
+            ef,
+            k,
+            coords,
+        } => {
+            let mut body = Vec::with_capacity(2 + index.len() + 12 + 8 * coords.len());
+            push_str(&mut body, index);
+            push_u32(&mut body, *ef);
+            push_u32(&mut body, *k);
+            push_u32(&mut body, coords.len() as u32);
+            for &c in coords {
+                push_f64(&mut body, c);
+            }
+            encode_frame(KIND_QUERY, &body)
+        }
+        Request::Info { index } => {
+            let mut body = Vec::with_capacity(2 + index.len());
+            push_str(&mut body, index);
+            encode_frame(KIND_INFO, &body)
+        }
+        Request::ListIndexes => encode_frame(KIND_LIST, &[]),
+    }
+}
+
+/// Decodes one complete request frame. Total: every input either parses or
+/// returns a typed [`ServeError`]; response kinds are
+/// [`ServeError::UnknownKind`] here (and vice versa), so a confused peer
+/// fails loudly instead of cross-interpreting.
+pub fn decode_request(frame: &[u8]) -> Result<Request, ServeError> {
+    let (kind, body) = decode_frame(frame)?;
+    let mut cur = Cursor::new(body);
+    let req = match kind {
+        KIND_PING => Request::Ping,
+        KIND_QUERY => {
+            let index = cur.string("index name")?;
+            let ef = cur.u32("ef")?;
+            let k = cur.u32("k")?;
+            let dims = cur.u32("query dims")? as usize;
+            // Exact-size check before allocating: the remaining bytes must
+            // be exactly the declared coordinates.
+            if cur.bytes.len() - cur.pos != 8 * dims {
+                return Err(malformed(format!(
+                    "query declares {dims} coordinates but carries {} payload bytes",
+                    cur.bytes.len() - cur.pos
+                )));
+            }
+            let mut coords = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                coords.push(cur.f64("query coordinate")?);
+            }
+            Request::Query {
+                index,
+                ef,
+                k,
+                coords,
+            }
+        }
+        KIND_INFO => Request::Info {
+            index: cur.string("index name")?,
+        },
+        KIND_LIST => Request::ListIndexes,
+        other => return Err(ServeError::UnknownKind { kind: other }),
+    };
+    cur.finish("the request body")?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Encodes a response as one complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Pong => encode_frame(KIND_PONG, &[]),
+        Response::Query(reply) => {
+            let mut body = Vec::with_capacity(28 + 12 * reply.results.len());
+            push_u64(&mut body, reply.epoch);
+            push_u64(&mut body, reply.dist_comps);
+            push_u64(&mut body, reply.expansions);
+            push_u32(&mut body, reply.results.len() as u32);
+            for &(id, dist) in &reply.results {
+                push_u32(&mut body, id);
+                push_f64(&mut body, dist);
+            }
+            encode_frame(KIND_QUERY_OK, &body)
+        }
+        Response::Info(info) => {
+            let mut body = Vec::with_capacity(28);
+            push_u64(&mut body, info.epoch);
+            push_u64(&mut body, info.n);
+            push_u32(&mut body, info.dims);
+            push_u32(&mut body, info.metric_code);
+            push_u32(&mut body, info.entry_point);
+            encode_frame(KIND_INFO_OK, &body)
+        }
+        Response::IndexList(names) => {
+            let mut body = Vec::with_capacity(4 + names.iter().map(|n| 2 + n.len()).sum::<usize>());
+            push_u32(&mut body, names.len() as u32);
+            for n in names {
+                push_str(&mut body, n);
+            }
+            encode_frame(KIND_LIST_OK, &body)
+        }
+        Response::Error { code, message } => {
+            let mut body = Vec::with_capacity(4 + message.len());
+            push_u16(&mut body, code.code());
+            push_str(&mut body, message);
+            encode_frame(KIND_ERROR, &body)
+        }
+    }
+}
+
+/// Decodes one complete response frame (total, like [`decode_request`]).
+pub fn decode_response(frame: &[u8]) -> Result<Response, ServeError> {
+    let (kind, body) = decode_frame(frame)?;
+    let mut cur = Cursor::new(body);
+    let resp = match kind {
+        KIND_PONG => Response::Pong,
+        KIND_QUERY_OK => {
+            let epoch = cur.u64("epoch")?;
+            let dist_comps = cur.u64("dist comps")?;
+            let expansions = cur.u64("expansions")?;
+            let count = cur.u32("result count")? as usize;
+            if cur.bytes.len() - cur.pos != 12 * count {
+                return Err(malformed(format!(
+                    "query reply declares {count} results but carries {} payload bytes",
+                    cur.bytes.len() - cur.pos
+                )));
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = cur.u32("result id")?;
+                let dist = cur.f64("result distance")?;
+                results.push((id, dist));
+            }
+            Response::Query(QueryReply {
+                epoch,
+                dist_comps,
+                expansions,
+                results,
+            })
+        }
+        KIND_INFO_OK => Response::Info(IndexInfo {
+            epoch: cur.u64("epoch")?,
+            n: cur.u64("n")?,
+            dims: cur.u32("dims")?,
+            metric_code: cur.u32("metric code")?,
+            entry_point: cur.u32("entry point")?,
+        }),
+        KIND_LIST_OK => {
+            let count = cur.u32("index count")? as usize;
+            // Each name needs at least its 2-byte length; bound before
+            // allocating.
+            if count > (cur.bytes.len() - cur.pos) / 2 {
+                return Err(malformed(format!(
+                    "index list declares {count} names but carries {} payload bytes",
+                    cur.bytes.len() - cur.pos
+                )));
+            }
+            let mut names = Vec::with_capacity(count);
+            for _ in 0..count {
+                names.push(cur.string("index name")?);
+            }
+            Response::IndexList(names)
+        }
+        KIND_ERROR => {
+            let raw = cur.u16("error code")?;
+            let code = ErrorCode::from_code(raw)
+                .ok_or_else(|| malformed(format!("unknown error code {raw}")))?;
+            let message = cur.string("error message")?;
+            Response::Error { code, message }
+        }
+        other => return Err(ServeError::UnknownKind { kind: other }),
+    };
+    cur.finish("the response body")?;
+    Ok(resp)
+}
+
+/// The error frame a server sends for a local failure.
+pub fn error_response(err: &ServeError) -> Response {
+    Response::Error {
+        code: ErrorCode::for_error(err),
+        message: err.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout_is_as_documented() {
+        let frame = encode_frame(KIND_PING, &[]);
+        // len prefix + version + kind + checksum.
+        assert_eq!(frame.len(), 4 + 2 + 8);
+        assert_eq!(u32::from_le_bytes(frame[..4].try_into().unwrap()), 10);
+        assert_eq!(frame[4], PROTOCOL_VERSION);
+        assert_eq!(frame[5], KIND_PING);
+        let sum = u64::from_le_bytes(frame[6..14].try_into().unwrap());
+        assert_eq!(sum, checksum(&frame[4..6]));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Ping,
+            Request::Query {
+                index: "main".into(),
+                ef: 64,
+                k: 10,
+                coords: vec![0.5, -3.25, 1e300],
+            },
+            Request::Info {
+                index: "tenant-a".into(),
+            },
+            Request::ListIndexes,
+        ];
+        for req in reqs {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Pong,
+            Response::Query(QueryReply {
+                epoch: 7,
+                dist_comps: 123,
+                expansions: 17,
+                results: vec![(3, 0.25), (9, 1.5)],
+            }),
+            Response::Info(IndexInfo {
+                epoch: 2,
+                n: 4000,
+                dims: 8,
+                metric_code: 0,
+                entry_point: 17,
+            }),
+            Response::IndexList(vec!["a".into(), "b".into()]),
+            Response::Error {
+                code: ErrorCode::UnknownIndex,
+                message: "unknown index \"x\"".into(),
+            },
+        ];
+        for resp in resps {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_of_consecutive_frames() {
+        let mut buf = Vec::new();
+        let a = encode_request(&Request::Ping);
+        let b = encode_request(&Request::Info { index: "m".into() });
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap(), b);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ServeError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_refused_before_reading_the_body() {
+        let mut bytes = Vec::new();
+        push_u32(&mut bytes, MAX_FRAME_LEN + 1);
+        // No body at all: the bound check must fire first.
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ServeError::FrameTooLarge { .. })
+        ));
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(ServeError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_decoding_request_and_response_kinds_fails_loudly() {
+        let req = encode_request(&Request::Ping);
+        assert!(matches!(
+            decode_response(&req),
+            Err(ServeError::UnknownKind { kind: KIND_PING })
+        ));
+        let resp = encode_response(&Response::Pong);
+        assert!(matches!(
+            decode_request(&resp),
+            Err(ServeError::UnknownKind { kind: KIND_PONG })
+        ));
+    }
+
+    #[test]
+    fn version_is_checked_after_the_checksum() {
+        // Patch the version byte and re-stamp the checksum: the decoder
+        // must now reject on version, proving corrupt bytes fail as
+        // corruption and only authentic version bumps as version errors.
+        let mut frame = encode_request(&Request::Ping);
+        frame[4] = 9;
+        let payload_end = frame.len() - 8;
+        let sum = checksum(&frame[4..payload_end]);
+        frame[payload_end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_request(&frame),
+            Err(ServeError::UnsupportedVersion { found: 9 })
+        ));
+    }
+}

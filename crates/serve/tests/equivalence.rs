@@ -1,0 +1,194 @@
+//! Serving-equivalence suite: responses that crossed the wire — single
+//! and micro-batched — are **bit-identical** to a direct
+//! `QueryEngine::batch_beam_detailed` run over the same snapshot, across
+//! engine thread counts 1, 2, and the machine's parallelism. This is the
+//! serving layer's core claim: the network and the batcher add transport
+//! and scheduling, never a different answer.
+
+mod common;
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use pg_core::engine::BatchBeamDetail;
+use pg_metric::FlatRow;
+use pg_serve::batcher::{Batcher, Pending};
+use pg_serve::client::Client;
+use pg_serve::registry::IndexRegistry;
+use pg_serve::server::{ServeConfig, Server};
+
+const ENTRY: u32 = 3;
+const EF: u32 = 16;
+const K: u32 = 5;
+
+/// The ground truth: the direct engine run every wire answer must match.
+fn direct(engine: &pg_core::QueryEngine<FlatRow, pg_metric::Euclidean>) -> BatchBeamDetail {
+    let queries = common::flat_queries(&common::queries(40, 9));
+    let starts = vec![ENTRY; queries.len()];
+    engine.batch_beam_detailed(&starts, &queries, EF as usize, K as usize)
+}
+
+fn assert_reply_matches(
+    reply: &pg_serve::QueryReply,
+    expected: &pg_core::BeamOutcome,
+    context: &str,
+) {
+    assert_eq!(
+        common::results_bits(&reply.results),
+        common::results_bits(&expected.results),
+        "{context}: result bits diverged"
+    );
+    assert_eq!(
+        reply.dist_comps, expected.dist_comps,
+        "{context}: dist_comps"
+    );
+    assert_eq!(
+        reply.expansions, expected.expansions,
+        "{context}: expansions"
+    );
+}
+
+/// Sequential single-client queries over TCP, against engines pinned to
+/// thread counts 1, 2, and the machine default: every response matches the
+/// direct run bit for bit (which also proves the thread counts agree with
+/// each other).
+#[test]
+fn tcp_responses_match_the_direct_engine_at_every_thread_count() {
+    let machine = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for threads in [1, 2, machine] {
+        let engine = common::build_engine(240, 5).with_threads(threads);
+        let expected = direct(&engine);
+
+        let registry = Arc::new(IndexRegistry::new());
+        registry.register("main", engine, ENTRY).unwrap();
+        let server = Server::bind("127.0.0.1:0", registry, ServeConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        for (i, q) in common::queries(40, 9).iter().enumerate() {
+            let reply = client.query("main", q, EF, K).unwrap();
+            assert_reply_matches(
+                &reply,
+                &expected.outcomes[i],
+                &format!("threads {threads}, query {i}"),
+            );
+            assert_eq!(reply.epoch, 1);
+        }
+    }
+}
+
+/// Concurrent clients hammering the batched server: answers stay
+/// bit-identical to the direct run no matter how the dispatcher groups
+/// them, and the batcher's counters account for every request.
+#[test]
+fn concurrent_coalesced_responses_match_the_direct_engine() {
+    let engine = common::build_engine(240, 5);
+    let expected = Arc::new(direct(&engine));
+    let registry = Arc::new(IndexRegistry::new());
+    registry.register("main", engine, ENTRY).unwrap();
+    let server = Server::bind("127.0.0.1:0", registry, ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let queries = Arc::new(common::queries(40, 9));
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 3;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let queries = Arc::clone(&queries);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    for (i, q) in queries.iter().enumerate() {
+                        let reply = client.query("main", q, EF, K).unwrap();
+                        assert_reply_matches(
+                            &reply,
+                            &expected.outcomes[i],
+                            &format!("client {c}, round {round}, query {i}"),
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, (CLIENTS * ROUNDS * queries.len()) as u64);
+    assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+    assert!(stats.max_batch >= 1);
+}
+
+/// The deterministic coalescing proof: `submit_many` lands a group in the
+/// queue under one lock, so the dispatcher must answer it as **one**
+/// engine batch — and those coalesced answers match per-query direct runs
+/// bit for bit.
+#[test]
+fn a_guaranteed_coalesced_batch_answers_like_single_queries() {
+    let engine = common::build_engine(240, 5);
+    let expected = direct(&engine);
+    let registry = IndexRegistry::new();
+    registry.register("main", engine, ENTRY).unwrap();
+    let serving = registry.get("main").unwrap();
+
+    let batcher = Batcher::start(256);
+    let queries = common::flat_queries(&common::queries(40, 9));
+    let mut receivers = Vec::new();
+    let mut group = Vec::new();
+    for q in &queries {
+        let (tx, rx) = mpsc::channel();
+        group.push(Pending {
+            index: Arc::clone(&serving),
+            query: q.clone(),
+            ef: EF,
+            k: K,
+            reply: tx,
+        });
+        receivers.push(rx);
+    }
+    batcher.submit_many(group).unwrap();
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let reply = rx.recv().expect("dispatcher dropped a reply").unwrap();
+        assert_reply_matches(
+            &reply,
+            &expected.outcomes[i],
+            &format!("coalesced query {i}"),
+        );
+    }
+
+    let stats = batcher.stats();
+    assert_eq!(stats.requests, queries.len() as u64);
+    assert_eq!(stats.batches, 1, "the group must run as one dispatch");
+    assert_eq!(stats.coalesced_batches, 1);
+    assert_eq!(stats.max_batch, queries.len() as u64);
+}
+
+/// Batched and unbatched servers produce identical responses for the same
+/// requests — batching is a scheduling decision, not a semantic one.
+#[test]
+fn batched_and_unbatched_servers_agree() {
+    let engine = common::build_engine(240, 5);
+    let queries = common::queries(40, 9);
+    let mut replies = Vec::new();
+    for batching in [true, false] {
+        let registry = Arc::new(IndexRegistry::new());
+        registry.register("main", engine.clone(), ENTRY).unwrap();
+        let config = ServeConfig {
+            batching,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", registry, config).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        replies.push(
+            queries
+                .iter()
+                .map(|q| {
+                    let r = client.query("main", q, EF, K).unwrap();
+                    (common::results_bits(&r.results), r.dist_comps, r.expansions)
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(replies[0], replies[1]);
+}

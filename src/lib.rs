@@ -18,6 +18,7 @@
 //! | [`workloads`] | seeded dataset and query generators |
 //! | [`store`] | versioned on-disk index snapshots (`QueryEngine::save`/`load` live in [`core::snapshot`]) |
 //! | [`eval`] | the self-scoring layer: exact ground truth with fingerprinted caching, recall/quality metrics, recall-vs-QPS frontier sweeps |
+//! | [`serve`] | the online serving layer: TCP server with a length-prefixed checksummed protocol, micro-batched query coalescing, multi-index registry with zero-drop snapshot hot-swap |
 //!
 //! The architecture — crate dependency diagram, flat-storage design,
 //! surrogate-comparison semantics, compat-shim policy, and the snapshot
@@ -163,6 +164,45 @@
 //! The standard-workload driver is `exp_recall` (`pg_bench`); the
 //! experiments handbook `EXPERIMENTS.md` at the repository root explains
 //! how to read the frontier tables and the `BENCH_<label>.json` artifact.
+//!
+//! ## Serving: queries over the wire
+//!
+//! The [`serve`] crate turns a built index into an online service on plain
+//! `std::net::TcpListener` — no external dependencies. Frames are
+//! length-prefixed and FNV-checksummed (the byte-level spec lives in
+//! `ARCHITECTURE.md` § "Serving protocol"); malformed input yields typed
+//! error responses, never panics. Concurrent single queries coalesce into
+//! `batch_beam` micro-batches, and a named-index registry supports atomic
+//! snapshot hot-swap with zero dropped requests — every reply carries the
+//! epoch of the exact snapshot that answered it:
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use proximity_graphs::core::{GNet, QueryEngine};
+//! use proximity_graphs::metric::Euclidean;
+//! use proximity_graphs::serve::{Client, IndexRegistry, Server};
+//! use proximity_graphs::workloads;
+//!
+//! let data = workloads::uniform_cube_flat(200, 2, 50.0, 21).into_dataset(Euclidean);
+//! let pg = GNet::build(&data, 1.0);
+//!
+//! let registry = Arc::new(IndexRegistry::new());
+//! registry.register("main", QueryEngine::new(pg.graph, data), 0).unwrap();
+//! let server = Server::bind("127.0.0.1:0", registry, Default::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.query("main", &[25.0, 25.0], 16, 3).unwrap();
+//! assert_eq!(reply.results.len(), 3);
+//! assert_eq!(reply.epoch, 1); // answered by the first registered snapshot
+//! ```
+//!
+//! Responses are **bit-identical** to calling
+//! [`QueryEngine::batch_beam`](core::QueryEngine::batch_beam) directly —
+//! single or coalesced, at any thread count — pinned by
+//! `crates/serve/tests/equivalence.rs`. The load-generator experiment is
+//! `exp_serve` (`pg_bench`), which asserts that equivalence before timing
+//! anything.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -174,5 +214,6 @@ pub use pg_eval as eval;
 pub use pg_hardness as hardness;
 pub use pg_metric as metric;
 pub use pg_nets as nets;
+pub use pg_serve as serve;
 pub use pg_store as store;
 pub use pg_workloads as workloads;
