@@ -13,6 +13,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_ablation_phi [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, measure_greedy, Table};
 use pg_core::{check_navigable, gnet_edges_with_phi, GNetParams};
 use pg_metric::{Euclidean, FlatPoints};

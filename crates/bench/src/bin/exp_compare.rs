@@ -19,6 +19,8 @@
 //! Run: `cargo run --release -p pg_bench --bin exp_compare
 //! [--full] [--threads N]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use pg_baselines::{nsw, slow_preprocessing, vamana, Hnsw, HnswParams, NswParams, VamanaParams};

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_lb1_tree [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, Table};
 use pg_core::{GNet, Graph};
 use pg_hardness::TreeInstance;

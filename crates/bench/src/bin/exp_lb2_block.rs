@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_lb2_block [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, Table};
 use pg_core::{GNet, Graph};
 use pg_hardness::BlockInstance;

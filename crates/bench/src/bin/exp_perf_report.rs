@@ -38,6 +38,8 @@
 //! Run: `cargo run --release -p pg_bench --bin exp_perf_report
 //! [--smoke] [--label NAME] [--threads N]`
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;

@@ -45,6 +45,8 @@
 //! [--smoke | --full] [--threads N] [--algo NAME] [--label NAME]
 //! [--gt-cache DIR]`
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 use pg_baselines::{

@@ -32,6 +32,8 @@
 //! Run: `cargo run --release -p pg_bench --bin exp_serve
 //! [--smoke | --full] [--threads N] [--clients C] [--label NAME] [--force]`
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

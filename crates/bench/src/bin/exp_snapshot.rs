@@ -16,6 +16,8 @@
 //! `exp_t11_query --load-index FILE`); without it a temp file is used and
 //! removed. `--smoke` is the tiny CI gate.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::time::Instant;
 

@@ -17,6 +17,8 @@
 //! `Euclidean` and persisted through the `pg_store` snapshot format, ready
 //! for `exp_t11_query --load-index PATH` to serve without rebuilding.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use pg_baselines::slow_preprocessing;

@@ -18,6 +18,8 @@
 //! `tests/snapshot_parity.rs`). The scaling tables earlier in the binary
 //! always build their own per-`n` indexes.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use pg_bench::{

@@ -8,6 +8,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_t11_size [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, loglog_slope, Table};
 use pg_core::GNet;
 use pg_metric::Euclidean;

@@ -5,6 +5,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_t13_query [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, measure_greedy, Table};
 use pg_core::{greedy, MergedGraph, MergedParams};
 use pg_metric::Euclidean;

@@ -16,6 +16,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_t13_separation [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, linear_slope, Table};
 use pg_core::{GNet, MergedGraph, MergedParams};
 use pg_hardness::TreeInstance;

@@ -10,6 +10,8 @@
 //!
 //! Run: `cargo run --release -p pg-bench --bin exp_theta_pg [--full]`
 
+#![forbid(unsafe_code)]
+
 use pg_bench::{fmt, full_mode, Table};
 use pg_core::{check_navigable, ConeSet, ThetaGraph};
 use pg_metric::Euclidean;

@@ -296,7 +296,7 @@ impl<P: AsRef<[f64]>, M: Metric<P> + SnapshotMetric> QueryEngine<P, M> {
         build: Option<BuildParams>,
     ) -> Result<Snapshot, SnapshotError> {
         let points = self.data().points();
-        // Dataset::new rejects empty point sets, so points[0] exists.
+        // pg-lint: allow(no-panic-path, Dataset::new rejects empty point sets, so points[0] exists)
         let dims = points[0].as_ref().len();
         let mut coords = Vec::with_capacity(points.len() * dims);
         for (i, p) in points.iter().enumerate() {

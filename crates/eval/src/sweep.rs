@@ -178,6 +178,7 @@ impl FrontierSweep {
         self.ef_values
             .iter()
             .map(|&ef| {
+                // pg-lint: allow(no-nondeterminism, wall-clock feeds the advisory qps field only, never a Score)
                 let t0 = Instant::now();
                 let outcomes = index.search_batch(data, queries, ef, self.k);
                 let secs = t0.elapsed().as_secs_f64();
@@ -211,6 +212,7 @@ impl FrontierSweep {
         budgets
             .iter()
             .map(|&budget| {
+                // pg-lint: allow(no-nondeterminism, wall-clock feeds the advisory qps field only, never a Score)
                 let t0 = Instant::now();
                 let batch = engine.batch_query(starts, queries, budget);
                 let secs = t0.elapsed().as_secs_f64();

@@ -1,0 +1,327 @@
+//! A minimal, total JSON parser for validating `BENCH_*.json` artifacts.
+//!
+//! Hand-rolled over `std` like every parser in this workspace (the compat
+//! policy forbids external crates). It supports exactly the JSON the bench
+//! artifacts use — objects, arrays, strings with escapes, numbers,
+//! `true`/`false`/`null` — and is strict where corruption matters: a
+//! truncated file, trailing bytes after the top-level value, or a
+//! malformed number all return a typed error instead of a best-effort
+//! value, so a hand-edited or chopped artifact fails loudly.
+
+use std::fmt;
+
+/// A parsed JSON value. Object keys keep insertion order (validation
+/// messages cite paths, not indices, so ordering only affects display).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always finite: JSON has no NaN/Inf syntax).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// A parse failure: what went wrong and the 1-based line it happened on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line of the offending byte.
+    pub line: u32,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parses one complete JSON document. Trailing non-whitespace bytes are an
+/// error — a truncated-then-concatenated artifact cannot half-parse.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(p.err("trailing data after the top-level value"));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            message: msg.into(),
+            line: self.line,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(self.err(format!("expected '{c}', found '{got}'"))),
+            None => Err(self.err(format!("expected '{c}', found end of input"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some('t') => self.keyword("true", Value::Bool(true)),
+            Some('f') => self.keyword("false", Value::Bool(false)),
+            Some('n') => self.keyword("null", Value::Null),
+            Some(c) => Err(self.err(format!("unexpected character '{c}'"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        for expected in word.chars() {
+            if self.peek() == Some(expected) {
+                self.bump();
+            } else {
+                return Err(self.err(format!("invalid literal (expected `{word}`)")));
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(fields)),
+                Some(c) => return Err(self.err(format!("expected ',' or '}}', found '{c}'"))),
+                None => return Err(self.err("object not closed before end of input")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(items)),
+                Some(c) => return Err(self.err(format!("expected ',' or ']', found '{c}'"))),
+                None => return Err(self.err("array not closed before end of input")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("string not closed before end of input")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not needed by any artifact;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    Some(c) => return Err(self.err(format!("invalid escape '\\{c}'"))),
+                    None => return Err(self.err("escape at end of input")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let mut text = String::new();
+        if self.peek() == Some('-') {
+            text.push('-');
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            // `+`/`-` only directly after an exponent marker.
+            if matches!(self.peek(), Some('+') | Some('-'))
+                && !matches!(text.chars().last(), Some('e') | Some('E'))
+            {
+                break;
+            }
+            text.push(self.bump().expect("peeked"));
+        }
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("malformed number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(self.err(format!("number `{text}` overflows f64")));
+        }
+        Ok(Value::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_artifact_shape() {
+        let v = parse(
+            r#"{"schema_version": 1, "label": "pr3", "smoke": false,
+                "kernels": [{"kernel": "l2", "ns": 4.532, "x": null}],
+                "nested": {"a": [1, -2.5, 1e3]}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("schema_version").unwrap().as_num(), Some(1.0));
+        assert_eq!(v.get("label").unwrap().as_str(), Some("pr3"));
+        assert_eq!(v.get("smoke"), Some(&Value::Bool(false)));
+        let kernels = match v.get("kernels").unwrap() {
+            Value::Arr(items) => items,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(kernels[0].get("x"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn truncation_and_trailing_data_fail() {
+        assert!(parse(r#"{"a": 1"#).is_err());
+        assert!(parse(r#"{"a": 1} extra"#).is_err());
+        assert!(parse(r#"[1, 2"#).is_err());
+        assert!(parse(r#""unclosed"#).is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn malformed_numbers_and_literals_fail() {
+        assert!(parse("1.2.3").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1e999").is_err()); // overflows to inf
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn error_lines_are_tracked() {
+        let err = parse("{\n\"a\": 1,\n\"b\": tru\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

@@ -1,0 +1,661 @@
+//! Manifest-backed rules: `wire-freeze`, `no-external-deps`,
+//! `bench-artifact-schema`.
+
+use crate::json::{self, Value};
+use crate::rules::{Finding, Severity};
+use crate::tokenizer::{SourceFile, Tok};
+use crate::workspace;
+
+fn finding(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        severity: crate::rules::severity_of(rule).unwrap_or(Severity::Deny),
+        path: path.to_string(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wire-freeze
+// ---------------------------------------------------------------------------
+
+/// One frozen wire constant: its manifest kind, name, value, and (when
+/// extracted from source) the line it was declared on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireConst {
+    /// `"protocol-version"`, `"frame-kind"`, or `"error-code"`.
+    pub kind: &'static str,
+    /// Constant name (`KIND_PING`, `Malformed`, `PROTOCOL_VERSION`).
+    pub name: String,
+    /// The frozen numeric value.
+    pub value: u64,
+    /// 1-based source line (0 when parsed from the lock file).
+    pub line: u32,
+}
+
+/// Extracts the frozen wire constants from `pg_serve` sources:
+/// `PROTOCOL_VERSION` and every `const KIND_*: u8 = N;` from
+/// `protocol.rs`, and every `ErrorCode::Name => N` arm (the `code()`
+/// mapping) from `error.rs`. Test spans are skipped, so fixture tables in
+/// `#[cfg(test)]` cannot shadow the real constants.
+pub fn extract_wire_consts(protocol: &SourceFile, error: &SourceFile) -> Vec<WireConst> {
+    let mut out = Vec::new();
+    let toks = &protocol.tokens;
+    let ident = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+    let num = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Num(s)) => parse_u64(s),
+        _ => None,
+    };
+    for i in 0..toks.len() {
+        if protocol.in_test[i] {
+            continue;
+        }
+        if ident(i) != Some("const") {
+            continue;
+        }
+        let Some(name) = ident(i + 1) else { continue };
+        let is_kind = name.starts_with("KIND_");
+        let is_version = name == "PROTOCOL_VERSION";
+        if !is_kind && !is_version {
+            continue;
+        }
+        // const NAME : u8 = N ;
+        if punct(i + 2, ':') && ident(i + 3) == Some("u8") && punct(i + 4, '=') {
+            if let Some(value) = num(i + 5) {
+                out.push(WireConst {
+                    kind: if is_kind {
+                        "frame-kind"
+                    } else {
+                        "protocol-version"
+                    },
+                    name: name.to_string(),
+                    value,
+                    line: toks[i + 1].line,
+                });
+            }
+        }
+    }
+    // ErrorCode::Name => N  (only `code()` has this arm shape; `from_code`
+    // reverses it and `for_error` has no number after the arrow).
+    let toks = &error.tokens;
+    let ident = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct =
+        |i: usize, c: char| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+    let num = |i: usize| match toks.get(i).map(|t| &t.tok) {
+        Some(Tok::Num(s)) => parse_u64(s),
+        _ => None,
+    };
+    for i in 0..toks.len() {
+        if error.in_test[i] {
+            continue;
+        }
+        if ident(i) == Some("ErrorCode")
+            && punct(i + 1, ':')
+            && punct(i + 2, ':')
+            && punct(i + 4, '=')
+            && punct(i + 5, '>')
+        {
+            if let (Some(name), Some(value)) = (ident(i + 3), num(i + 6)) {
+                let entry = WireConst {
+                    kind: "error-code",
+                    name: name.to_string(),
+                    value,
+                    line: toks[i + 3].line,
+                };
+                if !out.contains(&entry) {
+                    out.push(entry);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = clean.strip_prefix("0x") {
+        u64::from_str_radix(
+            hex.trim_end_matches(|c: char| c.is_alphabetic() && !c.is_ascii_hexdigit()),
+            16,
+        )
+        .ok()
+    } else {
+        clean
+            .trim_end_matches(|c: char| c.is_alphabetic())
+            .parse()
+            .ok()
+    }
+}
+
+/// Renders the manifest text for `--write-wire-lock`: deterministic order
+/// (version, frame kinds by value, error codes by value).
+pub fn render_wire_lock(consts: &[WireConst]) -> String {
+    let mut out = String::from(
+        "# Frozen wire constants of pg_serve (frame kinds and error codes are\n\
+         # frozen forever; extend the protocol by appending codes). pg_lint's\n\
+         # wire-freeze rule fails if the sources diverge from this manifest.\n\
+         # After a *reviewed* protocol change, regenerate with:\n\
+         #   cargo run -p pg_lint -- --write-wire-lock\n",
+    );
+    let section = |kind: &str| {
+        let mut rows: Vec<&WireConst> = consts.iter().filter(|c| c.kind == kind).collect();
+        rows.sort_by_key(|c| (c.value, c.name.clone()));
+        let mut s = String::new();
+        for c in rows {
+            s.push_str(&format!("{} {} {}\n", c.kind, c.name, c.value));
+        }
+        s
+    };
+    out.push_str(&section("protocol-version"));
+    out.push_str(&section("frame-kind"));
+    out.push_str(&section("error-code"));
+    out
+}
+
+/// Parses a `wire.lock` manifest. Unknown kinds or malformed lines yield
+/// findings (a corrupted manifest must not silently weaken the freeze).
+pub fn parse_wire_lock(text: &str, lock_path: &str) -> (Vec<WireConst>, Vec<Finding>) {
+    let mut consts = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let parsed = if parts.len() == 3 {
+            let kind = match parts[0] {
+                "protocol-version" => Some("protocol-version"),
+                "frame-kind" => Some("frame-kind"),
+                "error-code" => Some("error-code"),
+                _ => None,
+            };
+            kind.zip(parts[2].parse::<u64>().ok())
+                .map(|(k, v)| WireConst {
+                    kind: k,
+                    name: parts[1].to_string(),
+                    value: v,
+                    line: 0,
+                })
+        } else {
+            None
+        };
+        match parsed {
+            Some(c) => consts.push(c),
+            None => findings.push(finding(
+                "wire-freeze",
+                lock_path,
+                line_no,
+                format!("malformed manifest line `{line}` (expected `<kind> <name> <value>`)"),
+            )),
+        }
+    }
+    (consts, findings)
+}
+
+/// `wire-freeze`: the constants extracted from the sources must match the
+/// committed manifest exactly — value changes, removals, and unreviewed
+/// additions all fail. `lock_text = None` (missing manifest) is itself a
+/// finding.
+pub fn check_wire_freeze(
+    protocol: &SourceFile,
+    error: &SourceFile,
+    lock_text: Option<&str>,
+    lock_path: &str,
+) -> Vec<Finding> {
+    let actual = extract_wire_consts(protocol, error);
+    let mut findings = Vec::new();
+    // Extraction sanity: an empty set means the extractor (or a rewrite of
+    // protocol.rs) broke — fail loudly rather than vacuously passing.
+    if !actual.iter().any(|c| c.kind == "frame-kind") {
+        findings.push(finding(
+            "wire-freeze",
+            &protocol.path,
+            1,
+            "no `const KIND_*: u8` frame kinds found — protocol.rs was restructured past the extractor".to_string(),
+        ));
+    }
+    if !actual.iter().any(|c| c.kind == "error-code") {
+        findings.push(finding(
+            "wire-freeze",
+            &error.path,
+            1,
+            "no `ErrorCode::… => n` code arms found — error.rs was restructured past the extractor"
+                .to_string(),
+        ));
+    }
+    let Some(lock_text) = lock_text else {
+        findings.push(finding(
+            "wire-freeze",
+            lock_path,
+            0,
+            format!("missing wire manifest {lock_path}; generate it with --write-wire-lock and commit it"),
+        ));
+        return findings;
+    };
+    let (expected, mut lock_findings) = parse_wire_lock(lock_text, lock_path);
+    findings.append(&mut lock_findings);
+    for a in &actual {
+        match expected.iter().find(|e| e.kind == a.kind && e.name == a.name) {
+            None => findings.push(finding(
+                "wire-freeze",
+                if a.kind == "error-code" { &error.path } else { &protocol.path },
+                a.line,
+                format!(
+                    "{} {} = {} is not in {lock_path} — a protocol extension must update the manifest in the same reviewed change",
+                    a.kind, a.name, a.value
+                ),
+            )),
+            Some(e) if e.value != a.value => findings.push(finding(
+                "wire-freeze",
+                if a.kind == "error-code" { &error.path } else { &protocol.path },
+                a.line,
+                format!(
+                    "{} {} changed: source says {}, {lock_path} froze {} — wire codes are frozen forever",
+                    a.kind, a.name, a.value, e.value
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for e in &expected {
+        if !actual.iter().any(|a| a.kind == e.kind && a.name == e.name) {
+            findings.push(finding(
+                "wire-freeze",
+                lock_path,
+                0,
+                format!(
+                    "{} {} = {} is frozen in the manifest but no longer declared in the sources",
+                    e.kind, e.name, e.value
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// no-external-deps
+// ---------------------------------------------------------------------------
+
+/// `no-external-deps`: every dependency entry in a manifest must resolve
+/// inside the workspace (`path = …` or `workspace = true`). Machine-checks
+/// the PR 1 compat policy: the build environment has no crates.io access,
+/// so a version-only dependency can never build here.
+pub fn check_external_deps(manifest_path: &str, text: &str) -> Vec<Finding> {
+    workspace::parse_deps(text)
+        .into_iter()
+        .filter(|d| !d.is_internal)
+        .map(|d| {
+            finding(
+                "no-external-deps",
+                manifest_path,
+                d.line,
+                format!(
+                    "dependency `{}` is not a workspace/path dependency; the compat policy (crates/compat/README.md) forbids external crates",
+                    d.name
+                ),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// bench-artifact-schema
+// ---------------------------------------------------------------------------
+
+/// `bench-artifact-schema`: a committed `BENCH_*.json` must parse fully
+/// and match the documented envelope (EXPERIMENTS.md § "The
+/// `BENCH_<label>.json` trajectory format"): `schema_version: 1`, `label`
+/// string, `smoke` bool, `threads` positive integer, at least one known
+/// payload section, bounded scores, and a zero `hotswap.errors` — so a
+/// hand-edited or truncated artifact fails before it poisons the perf
+/// trajectory.
+pub fn check_bench_artifact(path: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        out.push(finding("bench-artifact-schema", path, line, message));
+    };
+    let root = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            push(e.line, format!("artifact does not parse: {}", e.message));
+            return out;
+        }
+    };
+    if !matches!(root, Value::Obj(_)) {
+        push(
+            1,
+            format!("top level must be an object, found {}", root.type_name()),
+        );
+        return out;
+    }
+    match root.get("schema_version").and_then(Value::as_num) {
+        Some(v) if (v - 1.0).abs() < f64::EPSILON => {}
+        Some(v) => push(
+            1,
+            format!("schema_version {v} is not the documented version 1"),
+        ),
+        None => push(1, "missing numeric `schema_version`".to_string()),
+    }
+    if root.get("label").and_then(Value::as_str).is_none() {
+        push(1, "missing string `label`".to_string());
+    }
+    if !matches!(root.get("smoke"), Some(Value::Bool(_))) {
+        push(1, "missing boolean `smoke`".to_string());
+    }
+    match root.get("threads").and_then(Value::as_num) {
+        Some(t) if t >= 1.0 && t.fract() == 0.0 => {}
+        Some(t) => push(
+            1,
+            format!("`threads` must be a positive integer, found {t}"),
+        ),
+        None => push(1, "missing numeric `threads`".to_string()),
+    }
+    let known = ["kernels", "queries", "suite", "frontiers", "serve"];
+    if !known.iter().any(|k| root.get(k).is_some()) {
+        push(
+            1,
+            format!("no known payload section (expected one of {known:?})"),
+        );
+    }
+    if let Some(kernels) = root.get("kernels") {
+        check_rows(kernels, "kernels", &["kernel", "d"], &mut push);
+    }
+    if let Some(frontiers) = root.get("frontiers") {
+        match frontiers {
+            Value::Arr(items) => {
+                for (i, f) in items.iter().enumerate() {
+                    let ctx = format!("frontiers[{i}]");
+                    for key in ["workload", "algo", "axis"] {
+                        if f.get(key).and_then(Value::as_str).is_none() {
+                            push(1, format!("{ctx}.{key} must be a string"));
+                        }
+                    }
+                    match f.get("rows") {
+                        Some(Value::Arr(rows)) => {
+                            for (j, row) in rows.iter().enumerate() {
+                                for key in ["recall", "success_at_eps"] {
+                                    if let Some(v) = row.get(key).and_then(Value::as_num) {
+                                        if !(0.0..=1.0).contains(&v) {
+                                            push(
+                                                1,
+                                                format!(
+                                                    "{ctx}.rows[{j}].{key} = {v} is outside [0, 1] — a score cannot exceed 1"
+                                                ),
+                                            );
+                                        }
+                                    } else {
+                                        push(1, format!("{ctx}.rows[{j}].{key} must be a number"));
+                                    }
+                                }
+                                for key in ["param", "dist_comps"] {
+                                    if row.get(key).and_then(Value::as_num).is_none() {
+                                        push(1, format!("{ctx}.rows[{j}].{key} must be a number"));
+                                    }
+                                }
+                            }
+                        }
+                        _ => push(1, format!("{ctx}.rows must be an array")),
+                    }
+                }
+            }
+            other => push(
+                1,
+                format!("`frontiers` must be an array, found {}", other.type_name()),
+            ),
+        }
+    }
+    if let Some(serve) = root.get("serve") {
+        if !matches!(serve, Value::Obj(_)) {
+            push(
+                1,
+                format!("`serve` must be an object, found {}", serve.type_name()),
+            );
+        } else {
+            for key in ["batched", "unbatched", "hotswap"] {
+                if !matches!(serve.get(key), Some(Value::Obj(_))) {
+                    push(1, format!("serve.{key} must be an object"));
+                }
+            }
+            if let Some(errors) = serve.get("hotswap").and_then(|h| h.get("errors")) {
+                if errors.as_num() != Some(0.0) {
+                    push(
+                        1,
+                        format!(
+                            "serve.hotswap.errors must be 0 (the binary gates on it), found {errors:?}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks that `section` is an array of objects each carrying `required`
+/// keys (shallow — deeper fields are machine-dependent numbers).
+fn check_rows(section: &Value, name: &str, required: &[&str], push: &mut impl FnMut(u32, String)) {
+    match section {
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if !matches!(item, Value::Obj(_)) {
+                    push(1, format!("{name}[{i}] must be an object"));
+                    continue;
+                }
+                for key in required {
+                    if item.get(key).is_none() {
+                        push(1, format!("{name}[{i}] is missing `{key}`"));
+                    }
+                }
+            }
+        }
+        other => push(
+            1,
+            format!("`{name}` must be an array, found {}", other.type_name()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::SourceFile;
+
+    fn proto(src: &str) -> SourceFile {
+        SourceFile::parse("crates/serve/src/protocol.rs", src)
+    }
+
+    fn errf(src: &str) -> SourceFile {
+        SourceFile::parse("crates/serve/src/error.rs", src)
+    }
+
+    const PROTO_FIXTURE: &str = "
+pub const PROTOCOL_VERSION: u8 = 1;
+const KIND_PING: u8 = 0;
+const KIND_PONG: u8 = 128;
+#[cfg(test)]
+mod tests {
+    const KIND_FAKE: u8 = 99;
+}
+";
+
+    const ERROR_FIXTURE: &str = "
+impl ErrorCode {
+    pub fn code(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::Internal => 10,
+        }
+    }
+    pub fn from_code(code: u16) -> Option<Self> {
+        Some(match code {
+            1 => ErrorCode::Malformed,
+            10 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+";
+
+    #[test]
+    fn extraction_finds_version_kinds_and_codes_but_not_test_consts() {
+        let consts = extract_wire_consts(&proto(PROTO_FIXTURE), &errf(ERROR_FIXTURE));
+        let names: Vec<&str> = consts.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "PROTOCOL_VERSION",
+                "KIND_PING",
+                "KIND_PONG",
+                "Malformed",
+                "Internal"
+            ]
+        );
+        assert!(!names.contains(&"KIND_FAKE"));
+        let pong = consts.iter().find(|c| c.name == "KIND_PONG").unwrap();
+        assert_eq!(pong.value, 128);
+        assert_eq!(pong.kind, "frame-kind");
+    }
+
+    #[test]
+    fn wire_freeze_roundtrips_through_its_own_manifest() {
+        let p = proto(PROTO_FIXTURE);
+        let e = errf(ERROR_FIXTURE);
+        let lock = render_wire_lock(&extract_wire_consts(&p, &e));
+        let findings = check_wire_freeze(&p, &e, Some(&lock), "wire.lock");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn wire_freeze_fails_on_changed_added_and_removed_constants() {
+        let p = proto(PROTO_FIXTURE);
+        let e = errf(ERROR_FIXTURE);
+        let lock = render_wire_lock(&extract_wire_consts(&p, &e));
+
+        // Changed value.
+        let mutated = proto(&PROTO_FIXTURE.replace("KIND_PONG: u8 = 128", "KIND_PONG: u8 = 127"));
+        let findings = check_wire_freeze(&mutated, &e, Some(&lock), "wire.lock");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("frozen forever"));
+
+        // Unreviewed addition.
+        let extended = proto(&PROTO_FIXTURE.replace(
+            "const KIND_PING: u8 = 0;",
+            "const KIND_PING: u8 = 0;\nconst KIND_BATCH: u8 = 4;",
+        ));
+        let findings = check_wire_freeze(&extended, &e, Some(&lock), "wire.lock");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("must update the manifest"));
+
+        // Removal.
+        let shrunk = proto(&PROTO_FIXTURE.replace("const KIND_PONG: u8 = 128;\n", ""));
+        let findings = check_wire_freeze(&shrunk, &e, Some(&lock), "wire.lock");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no longer declared"));
+    }
+
+    #[test]
+    fn wire_freeze_fails_on_missing_or_corrupt_manifest() {
+        let p = proto(PROTO_FIXTURE);
+        let e = errf(ERROR_FIXTURE);
+        let findings = check_wire_freeze(&p, &e, None, "wire.lock");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("missing wire manifest"));
+
+        let findings = check_wire_freeze(&p, &e, Some("frame-kind KIND_PING zero\n"), "wire.lock");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("malformed manifest line")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn wire_freeze_fails_if_extraction_goes_dark() {
+        let empty = proto("fn nothing() {}");
+        let findings = check_wire_freeze(&empty, &errf("fn x() {}"), Some(""), "wire.lock");
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn external_deps_fire_on_version_only_entries() {
+        let bad = "[dependencies]\nserde = \"1.0\"\npg_core.workspace = true\n";
+        let findings = check_external_deps("crates/x/Cargo.toml", bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("serde"));
+        assert_eq!(findings[0].line, 2);
+
+        let good =
+            "[dependencies]\npg_core.workspace = true\nrand = { path = \"crates/compat/rand\" }\n";
+        assert!(check_external_deps("crates/x/Cargo.toml", good).is_empty());
+    }
+
+    const GOOD_ARTIFACT: &str = r#"{
+  "schema_version": 1, "label": "pr5", "smoke": false, "threads": 1,
+  "suite": {"n": 1200, "m": 80, "k": 10, "eps": 1.0},
+  "frontiers": [
+    {"workload": "uniform-2d", "algo": "gnet", "axis": "ef", "k": 10,
+     "rows": [{"param": 2.0, "recall": 0.2, "mean_dist_ratio": 1.0,
+               "success_at_eps": 1.0, "dist_comps": 277.3, "hops": 3.8,
+               "qps": null}]}
+  ]
+}"#;
+
+    #[test]
+    fn good_artifact_passes() {
+        let findings = check_bench_artifact("BENCH_x.json", GOOD_ARTIFACT);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn truncated_artifact_fails_to_parse() {
+        let cut = &GOOD_ARTIFACT[..GOOD_ARTIFACT.len() / 2];
+        let findings = check_bench_artifact("BENCH_x.json", cut);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("does not parse"));
+    }
+
+    #[test]
+    fn hand_edited_recall_above_one_fails() {
+        let poisoned = GOOD_ARTIFACT.replace("\"recall\": 0.2", "\"recall\": 1.2");
+        let findings = check_bench_artifact("BENCH_x.json", &poisoned);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn missing_envelope_fields_fail() {
+        let findings = check_bench_artifact("BENCH_x.json", r#"{"kernels": []}"#);
+        let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("schema_version")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("label")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("smoke")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("threads")), "{msgs:?}");
+    }
+
+    #[test]
+    fn nonzero_hotswap_errors_fail() {
+        let artifact = r#"{
+  "schema_version": 1, "label": "pr6", "smoke": false, "threads": 2,
+  "serve": {"batched": {}, "unbatched": {}, "hotswap": {"swaps": 14, "errors": 3}}
+}"#;
+        let findings = check_bench_artifact("BENCH_x.json", artifact);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("hotswap.errors"));
+    }
+}

@@ -1,0 +1,740 @@
+//! A comment/string/raw-string-aware Rust tokenizer over `std`.
+//!
+//! This is not a full Rust lexer — it is exactly the lexer the lint rules
+//! need: it distinguishes code from comments and string/char literals (so
+//! `.unwrap()` inside a doctest comment or an error message never fires a
+//! rule), tracks line numbers, collects `// pg-lint: allow(rule, reason)`
+//! suppression pragmas, and marks the token spans of inline
+//! `#[cfg(test)]` items so test code is exempt from the production-path
+//! rules. The same discipline as `pg_store`'s byte parser applies:
+//! tokenizing is total — any input produces a token stream, never a panic.
+//!
+//! Handled lexical shapes: line comments (`//`, `///`, `//!`), nested
+//! block comments (`/* /* */ */`), string literals with escapes, raw
+//! strings (`r"…"`, `r#"…"#`, any number of `#`), byte and raw-byte
+//! strings (`b"…"`, `br#"…"#`), raw identifiers (`r#type`), char literals
+//! (`'a'`, `'\''`, `'\u{1F600}'`) vs lifetimes (`'a`, `'static`).
+
+/// One lexical token. Literals keep no text except numbers (the
+/// wire-freeze rule reads constant values); rules match on identifiers
+/// and punctuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `const`, `KIND_PING`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, …).
+    Punct(char),
+    /// A lifetime (`'a`, `'static`). The name is irrelevant to every rule.
+    Lifetime,
+    /// A string, raw-string, byte-string, char or byte literal.
+    Literal,
+    /// A numeric literal, with its source text (`129`, `0xFF`, `1.5e3`).
+    Num(String),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A parsed `// pg-lint: allow(rule, reason)` pragma.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// 1-based line the pragma comment sits on. The pragma suppresses
+    /// findings on this line and the next one (so it can trail the flagged
+    /// expression or stand on its own line above it).
+    pub line: u32,
+    /// The rule id inside `allow(…)`.
+    pub rule: String,
+    /// The justification after the comma. The engine rejects empty
+    /// reasons: every suppression must carry a written why.
+    pub reason: String,
+}
+
+/// A `pg-lint:` comment that does not parse as a well-formed pragma.
+/// These become findings — a typo must not silently disable a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadPragma {
+    /// 1-based line of the malformed comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// A tokenized source file: the token stream, the per-token
+/// `#[cfg(test)]` membership, and the suppression pragmas found in its
+/// comments.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, used verbatim in findings.
+    pub path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is true iff `tokens[i]` lies inside the body of an
+    /// item annotated `#[cfg(test)]` (inline `mod tests { … }`, a test-only
+    /// fn, …).
+    pub in_test: Vec<bool>,
+    /// Well-formed suppression pragmas.
+    pub allows: Vec<Allow>,
+    /// Malformed `pg-lint:` comments.
+    pub bad_pragmas: Vec<BadPragma>,
+}
+
+impl SourceFile {
+    /// Tokenizes `text`. Total: any byte sequence yields a `SourceFile`.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut lx = Lexer {
+            chars: text.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            allows: Vec::new(),
+            bad_pragmas: Vec::new(),
+        };
+        lx.run();
+        let in_test = mark_cfg_test_spans(&lx.tokens);
+        SourceFile {
+            path: path.to_string(),
+            tokens: lx.tokens,
+            in_test,
+            allows: lx.allows,
+            bad_pragmas: lx.bad_pragmas,
+        }
+    }
+
+    /// True if some pragma allows `rule` on `line` (the pragma's own line
+    /// or the line directly below it).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    allows: Vec<Allow>,
+    bad_pragmas: Vec<BadPragma>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.tokens.push(Token { tok, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(Tok::Literal, line);
+                }
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+    }
+
+    /// Consumes `//…` to end of line; scans the text for a pragma. Doc
+    /// comments (`///`, `//!`) are documentation, never pragmas — prose
+    /// *describing* the pragma syntax must not register as one.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if !text.starts_with("///") && !text.starts_with("//!") {
+            self.scan_pragma(&text, line);
+        }
+    }
+
+    /// Consumes a (possibly nested) `/* … */` block comment. An
+    /// unterminated comment swallows the rest of the file, mirroring
+    /// rustc's recovery.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes the body of a `"…"` string, honoring `\"` and `\\`.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes `r##"…"##` after the prefix letters, given the number of
+    /// `#` marks already counted (cursor sits on the opening quote).
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` (char literal) vs `'a` / `'static` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            // Escape: definitely a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char (covers \' and \\)
+                             // Consume to the closing quote (handles \u{…}).
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Literal, line);
+            }
+            // `'x'` is a char; `'x` (no closing quote) is a lifetime.
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::Literal, line);
+                } else {
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            // `'('` and other single-char literals.
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::Literal, line);
+            }
+            None => self.push(Tok::Punct('\''), line),
+        }
+    }
+
+    /// A numeric literal: integer, float, hex/oct/bin, exponents,
+    /// suffixes. Stops before `..` so range expressions keep their
+    /// punctuation.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                // A decimal point, but not `..` (range) and only before a digit.
+                || (c == '.'
+                    && self.peek(1) != Some('.')
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                // An exponent sign: `1e-3`, but not hex and only after e/E.
+                || ((c == '+' || c == '-')
+                    && matches!(text.chars().last(), Some('e') | Some('E'))
+                    && !text.starts_with("0x"));
+            if !continues {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::Num(text), line);
+    }
+
+    /// An identifier — or the raw/byte string and raw-identifier forms
+    /// that *start* like one (`r"…"`, `br#"…"#`, `r#type`).
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String prefixes: the ident is exactly r/b/br and a quote (or
+        // raw-string hashes) follows with no gap.
+        let is_raw_prefix = name == "r" || name == "br";
+        let is_byte_prefix = name == "b";
+        if is_raw_prefix {
+            let mut hashes = 0;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.raw_string_body(hashes);
+                self.push(Tok::Literal, line);
+                return;
+            }
+            // `r#ident` — raw identifier: retokenize the ident part.
+            if name == "r"
+                && hashes == 1
+                && self.peek(1).is_some_and(|c| c == '_' || c.is_alphabetic())
+            {
+                self.bump(); // '#'
+                let mut raw = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        raw.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(Tok::Ident(raw), line);
+                return;
+            }
+        }
+        if is_byte_prefix {
+            if self.peek(0) == Some('"') {
+                self.bump();
+                self.string_body();
+                self.push(Tok::Literal, line);
+                return;
+            }
+            if self.peek(0) == Some('\'') {
+                self.char_or_lifetime();
+                return;
+            }
+        }
+        self.push(Tok::Ident(name), line);
+    }
+
+    /// Looks for `pg-lint:` in a line comment and parses the pragma.
+    fn scan_pragma(&mut self, text: &str, line: u32) {
+        let Some(at) = text.find("pg-lint:") else {
+            return;
+        };
+        let rest = text[at + "pg-lint:".len()..].trim();
+        let bad = |problem: &str| BadPragma {
+            line,
+            problem: problem.to_string(),
+        };
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            self.bad_pragmas
+                .push(bad("expected `pg-lint: allow(<rule>, <reason>)`"));
+            return;
+        };
+        let Some((rule, reason)) = inner.split_once(',') else {
+            self.bad_pragmas.push(bad(
+                "missing `, <reason>` — every suppression needs a written why",
+            ));
+            return;
+        };
+        let rule = rule.trim();
+        let reason = reason.trim();
+        if rule.is_empty() || reason.is_empty() {
+            self.bad_pragmas
+                .push(bad("rule id and reason must both be non-empty"));
+            return;
+        }
+        self.allows.push(Allow {
+            line,
+            rule: rule.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+}
+
+/// Marks which tokens live inside the body of an item annotated
+/// `#[cfg(test)]`. Detection is syntactic: the exact attribute token
+/// sequence, then (skipping any further attributes) the item's
+/// brace-delimited body. An out-of-line `#[cfg(test)] mod x;` has no
+/// inline body, so its span is empty — by policy this workspace keeps
+/// test modules inline.
+fn mark_cfg_test_spans(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let ident = |i: usize, name: &str| matches!(&tokens.get(i), Some(Token { tok: Tok::Ident(n), .. }) if n == name);
+    let punct = |i: usize, ch: char| matches!(&tokens.get(i), Some(Token { tok: Tok::Punct(c), .. }) if *c == ch);
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = punct(i, '#')
+            && punct(i + 1, '[')
+            && ident(i + 2, "cfg")
+            && punct(i + 3, '(')
+            && ident(i + 4, "test")
+            && punct(i + 5, ')')
+            && punct(i + 6, ']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 7;
+        // Skip any further attributes between the cfg and the item.
+        while punct(j, '#') && punct(j + 1, '[') {
+            let mut depth = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                if punct(j, '[') {
+                    depth += 1;
+                } else if punct(j, ']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Find the item's body: the first `{` before any item-ending `;`.
+        let mut body_start = None;
+        while j < tokens.len() {
+            if punct(j, ';') {
+                break;
+            }
+            if punct(j, '{') {
+                body_start = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        if let Some(start) = body_start {
+            let mut depth = 0usize;
+            let mut k = start;
+            while k < tokens.len() {
+                if punct(k, '{') {
+                    depth += 1;
+                } else if punct(k, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                in_test[k] = true;
+                k += 1;
+            }
+            if k < tokens.len() {
+                in_test[k] = true; // the closing brace
+            }
+            i = k + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        SourceFile::parse("t.rs", src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_are_invisible() {
+        let src = r#"
+            // unwrap() in a comment
+            /* outer /* nested unwrap() */ still comment */ real
+            /// doc: x.unwrap()
+            //! inner doc: panic!()
+        "#;
+        assert_eq!(idents(src), vec!["real"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_swallows_the_rest() {
+        assert_eq!(idents("a /* no end\n b c"), vec!["a"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let msg = "call unwrap() now \" really"; after"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        let src = r###"let s = r#"embedded "quote" and unwrap()"#; tail"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_and_inner_hash_quote() {
+        let src = "let s = r##\"one \"# not the end\"##; done";
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_literals() {
+        let src = r##"let a = b"bytes unwrap()"; let b2 = br#"raw bytes"#; end"##;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "end"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "let c = 'a'; let q = '\\''; fn f<'a>(x: &'a str) {} let n = '\\n';";
+        let file = SourceFile::parse("t.rs", src);
+        let lifetimes = file
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let literals = file.tokens.iter().filter(|t| t.tok == Tok::Literal).count();
+        assert_eq!(lifetimes, 2, "{:?}", file.tokens);
+        assert_eq!(literals, 3, "{:?}", file.tokens);
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_escape() {
+        let src = "fn f(x: &'static str) { let e = '\\u{1F600}'; }";
+        let file = SourceFile::parse("t.rs", src);
+        assert_eq!(
+            file.tokens
+                .iter()
+                .filter(|t| t.tok == Tok::Lifetime)
+                .count(),
+            1
+        );
+        assert_eq!(
+            file.tokens.iter().filter(|t| t.tok == Tok::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_tokenize_as_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numbers_keep_text_and_ranges_stay_punctuation() {
+        let file = SourceFile::parse("t.rs", "const K: u8 = 129; for i in 0..10 {}");
+        let nums: Vec<String> = file
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["129", "0", "10"]);
+    }
+
+    #[test]
+    fn float_and_hex_literals() {
+        let file = SourceFile::parse("t.rs", "let a = 1.5e-3; let b = 0xFF_u8; let c = 2.0;");
+        let nums: Vec<String> = file
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0xFF_u8", "2.0"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let file = SourceFile::parse("t.rs", "a\nb\n\nc");
+        let lines: Vec<u32> = file.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_mod_span_is_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}";
+        let file = SourceFile::parse("t.rs", src);
+        for (tok, in_test) in file.tokens.iter().zip(&file.in_test) {
+            let name = match &tok.tok {
+                Tok::Ident(s) => s.as_str(),
+                _ => continue,
+            };
+            match name {
+                "live" | "live2" | "cfg" | "test" => assert!(!in_test, "{name} marked as test"),
+                "unwrap" | "t" | "x" => assert!(in_test, "{name} not marked as test"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_test_fn_with_second_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { y.unwrap(); }\nfn live() {}";
+        let file = SourceFile::parse("t.rs", src);
+        for (tok, in_test) in file.tokens.iter().zip(&file.in_test) {
+            if let Tok::Ident(s) = &tok.tok {
+                if s == "unwrap" {
+                    assert!(in_test);
+                }
+                if s == "live" {
+                    assert!(!in_test);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_line_cfg_test_mod_marks_nothing_after_the_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() { z.unwrap(); }";
+        let file = SourceFile::parse("t.rs", src);
+        for (tok, in_test) in file.tokens.iter().zip(&file.in_test) {
+            if let Tok::Ident(s) = &tok.tok {
+                if s == "unwrap" {
+                    assert!(!in_test);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pragmas_parse_with_rule_and_reason() {
+        let src = "let x = v[0]; // pg-lint: allow(no-panic-path, bounds checked above)\n";
+        let file = SourceFile::parse("t.rs", src);
+        assert_eq!(file.allows.len(), 1);
+        assert_eq!(file.allows[0].rule, "no-panic-path");
+        assert_eq!(file.allows[0].reason, "bounds checked above");
+        assert!(file.allowed("no-panic-path", 1));
+        assert!(file.allowed("no-panic-path", 2)); // next line too
+        assert!(!file.allowed("no-panic-path", 3));
+        assert!(!file.allowed("other-rule", 1));
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported() {
+        let cases = [
+            "// pg-lint: allow(no-panic-path)",       // no reason
+            "// pg-lint: allow(no-panic-path, )",     // empty reason
+            "// pg-lint: deny(no-panic-path, x)",     // not allow(…)
+            "// pg-lint: allow(no-panic-path, broke", // unclosed
+        ];
+        for src in cases {
+            let file = SourceFile::parse("t.rs", src);
+            assert_eq!(file.allows.len(), 0, "{src}");
+            assert_eq!(file.bad_pragmas.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn pragma_inside_a_string_is_ignored() {
+        let src = r#"let s = "pg-lint: allow(x, y)";"#;
+        let file = SourceFile::parse("t.rs", src);
+        assert!(file.allows.is_empty());
+        assert!(file.bad_pragmas.is_empty());
+    }
+
+    #[test]
+    fn pragma_mentioned_in_doc_comments_is_ignored() {
+        // Documentation may *describe* the pragma syntax without
+        // registering as a (malformed) pragma.
+        let src = "\
+//! Suppress with `// pg-lint: allow(<rule>, <reason>)`.
+/// The pragma shape is `pg-lint: allow(rule, reason)`.
+fn f() {}
+";
+        let file = SourceFile::parse("t.rs", src);
+        assert!(file.allows.is_empty(), "{:?}", file.allows);
+        assert!(file.bad_pragmas.is_empty(), "{:?}", file.bad_pragmas);
+    }
+
+    #[test]
+    fn tokenizer_is_total_on_arbitrary_bytes() {
+        // Miscellaneous pathological inputs: must not panic.
+        for src in [
+            "'", "\"", "r#", "r#\"", "/*", "b'", "1e", "#![", "'''", "\\",
+        ] {
+            let _ = SourceFile::parse("t.rs", src);
+        }
+    }
+}

@@ -201,6 +201,7 @@ impl<'a> Cursor<'a> {
         if self.bytes.len() - self.pos < len {
             return Err(ServeError::Truncated { context });
         }
+        // pg-lint: allow(no-panic-path, length-checked above: pos + len <= bytes.len())
         let out = &self.bytes[self.pos..self.pos + len];
         self.pos += len;
         Ok(out)
@@ -208,18 +209,21 @@ impl<'a> Cursor<'a> {
 
     fn u16(&mut self, context: &'static str) -> Result<u16, ServeError> {
         Ok(u16::from_le_bytes(
+            // pg-lint: allow(no-panic-path, take(2) returns exactly 2 bytes; try_into cannot fail)
             self.take(2, context)?.try_into().unwrap(),
         ))
     }
 
     fn u32(&mut self, context: &'static str) -> Result<u32, ServeError> {
         Ok(u32::from_le_bytes(
+            // pg-lint: allow(no-panic-path, take(4) returns exactly 4 bytes; try_into cannot fail)
             self.take(4, context)?.try_into().unwrap(),
         ))
     }
 
     fn u64(&mut self, context: &'static str) -> Result<u64, ServeError> {
         Ok(u64::from_le_bytes(
+            // pg-lint: allow(no-panic-path, take(8) returns exactly 8 bytes; try_into cannot fail)
             self.take(8, context)?.try_into().unwrap(),
         ))
     }
@@ -260,6 +264,7 @@ fn encode_frame(kind: u8, body: &[u8]) -> Vec<u8> {
     out.push(PROTOCOL_VERSION);
     out.push(kind);
     out.extend_from_slice(body);
+    // pg-lint: allow(no-panic-path, out was just built with exactly LEN_PREFIX + payload_len + … bytes)
     let sum = checksum(&out[LEN_PREFIX..LEN_PREFIX + payload_len]);
     push_u64(&mut out, sum);
     out
@@ -286,14 +291,17 @@ fn decode_frame(frame: &[u8]) -> Result<(u8, &[u8]), ServeError> {
     let rest = cur.take(frame_len as usize, "frame payload")?;
     cur.finish("the frame")?;
     let (payload, stored) = rest.split_at(rest.len() - 8);
+    // pg-lint: allow(no-panic-path, split_at(len - 8) makes stored exactly 8 bytes)
     let stored = u64::from_le_bytes(stored.try_into().unwrap());
     if checksum(payload) != stored {
         return Err(ServeError::ChecksumMismatch);
     }
+    // pg-lint: allow(no-panic-path, payload.len() >= MIN_FRAME_LEN - 8 >= 2, checked above)
     let version = payload[0];
     if version != PROTOCOL_VERSION {
         return Err(ServeError::UnsupportedVersion { found: version });
     }
+    // pg-lint: allow(no-panic-path, payload.len() >= 2 per the MIN_FRAME_LEN bound above)
     Ok((payload[1], &payload[2..]))
 }
 
@@ -312,6 +320,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
     let mut prefix = [0u8; LEN_PREFIX];
     let mut filled = 0;
     while filled < prefix.len() {
+        // pg-lint: allow(no-panic-path, filled < prefix.len() is the loop condition)
         match r.read(&mut prefix[filled..])? {
             0 if filled == 0 => return Err(ServeError::ConnectionClosed),
             0 => {
@@ -334,7 +343,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ServeError> {
         });
     }
     let mut frame = vec![0u8; LEN_PREFIX + frame_len as usize];
+    // pg-lint: allow(no-panic-path, frame was just allocated with LEN_PREFIX + frame_len bytes)
     frame[..LEN_PREFIX].copy_from_slice(&prefix);
+    // pg-lint: allow(no-panic-path, same allocation bound as the line above)
     r.read_exact(&mut frame[LEN_PREFIX..])
         .map_err(|e| match e.kind() {
             std::io::ErrorKind::UnexpectedEof => ServeError::Truncated {

@@ -202,7 +202,7 @@ impl SectionTag {
 impl fmt::Display for SectionTag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.bytes();
-        write!(f, "{}", std::str::from_utf8(&b).unwrap())
+        write!(f, "{}", String::from_utf8_lossy(&b))
     }
 }
 
@@ -462,16 +462,20 @@ impl Snapshot {
                 n + 1
             )));
         }
+        // pg-lint: allow(no-panic-path, offsets.len() == n + 1 >= 1 was checked above)
         if self.offsets[0] != 0 {
             return Err(invalid("offsets must start at 0"));
         }
+        // pg-lint: allow(no-panic-path, windows(2) yields exactly 2-element slices)
         if self.offsets.windows(2).any(|w| w[0] > w[1]) {
             return Err(invalid("offsets must be non-decreasing"));
         }
-        if *self.offsets.last().unwrap() != self.targets.len() as u64 {
+        // pg-lint: allow(no-panic-path, offsets is non-empty per the length check above)
+        let final_offset = *self.offsets.last().unwrap();
+        if final_offset != self.targets.len() as u64 {
             return Err(invalid(format!(
                 "final offset {} does not match edge count {}",
-                self.offsets.last().unwrap(),
+                final_offset,
                 self.targets.len()
             )));
         }
@@ -587,6 +591,7 @@ impl<'a> Cursor<'a> {
         if self.bytes.len() - self.pos < len {
             return Err(SnapshotError::Truncated { context });
         }
+        // pg-lint: allow(no-panic-path, length-checked above: pos + len <= bytes.len())
         let out = &self.bytes[self.pos..self.pos + len];
         self.pos += len;
         Ok(out)
@@ -594,12 +599,14 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(
+            // pg-lint: allow(no-panic-path, take(4) returns exactly 4 bytes; try_into cannot fail)
             self.take(4, context)?.try_into().unwrap(),
         ))
     }
 
     fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(
+            // pg-lint: allow(no-panic-path, take(8) returns exactly 8 bytes; try_into cannot fail)
             self.take(8, context)?.try_into().unwrap(),
         ))
     }
