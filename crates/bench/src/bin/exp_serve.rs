@@ -18,6 +18,14 @@
 //!    snapshots; the run asserts **zero** dropped or failed requests and
 //!    that every response's epoch belongs to a generation the registry
 //!    handed out.
+//! 5. With `--overload`: shedding demo. A zero-capacity (lame-duck) queue
+//!    must refuse **every** query with an `Overloaded` error frame on a
+//!    connection that keeps serving — asserted, not sampled — and a
+//!    retrying client must classify that refusal as transient, burn its
+//!    whole retry budget, and surface the typed error. Then a burst run
+//!    against a tiny queue reports how many requests shed and how many
+//!    retries the clients spent riding it out (every request must still
+//!    succeed eventually).
 //!
 //! On this workspace's 1-CPU reference container the batching win comes
 //! from dispatch amortization (one pool entry per group instead of per
@@ -30,7 +38,8 @@
 //! `--force` or a non-default `--label`.
 //!
 //! Run: `cargo run --release -p pg_bench --bin exp_serve
-//! [--smoke | --full] [--threads N] [--clients C] [--label NAME] [--force]`
+//! [--smoke | --full] [--overload] [--threads N] [--clients C]
+//! [--label NAME] [--force]`
 
 #![forbid(unsafe_code)]
 
@@ -42,7 +51,8 @@ use std::time::{Duration, Instant};
 use pg_bench::{fmt, full_mode, init_threads, value_flag, Table};
 use pg_core::{AnyEngine, GNet, QueryEngine};
 use pg_metric::Euclidean;
-use pg_serve::client::Client;
+use pg_serve::client::{Client, RetryPolicy, RetryingClient};
+use pg_serve::error::{ErrorCode, ServeError};
 use pg_serve::registry::IndexRegistry;
 use pg_serve::server::{ServeConfig, Server};
 use pg_workloads as workloads;
@@ -368,7 +378,120 @@ fn main() {
          {epochs} distinct epochs observed\n"
     );
 
-    // ---- 5. Artifact ---------------------------------------------------------
+    // ---- 5. Overload and shedding (--overload) ------------------------------
+    let overload = std::env::args().any(|a| a == "--overload");
+    let mut overload_json = String::new();
+    if overload {
+        // 5a. Lame-duck determinism: a zero-capacity queue must shed every
+        // query with an `Overloaded` error frame — and shedding costs an
+        // error frame, never the connection.
+        let server_o = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry_s),
+            ServeConfig {
+                max_queue: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("binding the lame-duck server");
+        let mut lame = Client::connect(server_o.local_addr()).expect("lame-duck client");
+        for (i, q) in queries.iter().enumerate() {
+            match lame.query(INDEX, q, EF, K) {
+                Err(ServeError::Remote {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }) => {}
+                other => panic!(
+                    "lame-duck query {i}: every reply must be an Overloaded frame, got {other:?}"
+                ),
+            }
+            lame.ping().expect("shedding must not cost the connection");
+        }
+        // A retrying client classifies the refusal as transient, burns its
+        // whole budget against a server that stays overloaded, and returns
+        // the typed error.
+        let lameduck_policy = RetryPolicy {
+            max_retries: 3,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+        };
+        let mut retrying = RetryingClient::connect(server_o.local_addr(), lameduck_policy)
+            .expect("retrying client");
+        let err = retrying
+            .query(INDEX, &queries[0], EF, K)
+            .expect_err("the lame-duck server never stops shedding");
+        assert!(err.is_retryable(), "Overloaded must classify as transient");
+        assert_eq!(retrying.retries(), lameduck_policy.max_retries as u64);
+        let lameduck_shed = server_o.stats().shed;
+        assert_eq!(
+            lameduck_shed,
+            m as u64 + 1 + lameduck_policy.max_retries as u64
+        );
+        drop(server_o);
+        println!(
+            "overload (lame-duck): {m} queries + {} retrying attempts, all shed with \
+             Overloaded frames, connections intact",
+            lameduck_policy.max_retries + 1
+        );
+
+        // 5b. Burst: concurrent closed-loop clients against a one-slot
+        // queue. Shedding here depends on timing, so the counts are
+        // reported rather than asserted — but every request must still
+        // succeed once its retries ride the burst out.
+        let server_b = Server::bind(
+            "127.0.0.1:0",
+            Arc::clone(&registry_s),
+            ServeConfig {
+                max_batch: 2,
+                max_queue: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("binding the burst server");
+        let addr_b = server_b.local_addr();
+        let burst_policy = RetryPolicy {
+            max_retries: 16,
+            backoff_start: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+        };
+        let burst_workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let queries = Arc::clone(&queries);
+                std::thread::spawn(move || -> u64 {
+                    let mut client =
+                        RetryingClient::connect(addr_b, burst_policy).expect("burst client");
+                    for _ in 0..rounds {
+                        for q in queries.iter() {
+                            client
+                                .query(INDEX, q, EF, K)
+                                .expect("burst query must eventually succeed");
+                        }
+                    }
+                    client.retries()
+                })
+            })
+            .collect();
+        let mut burst_retries = 0u64;
+        for w in burst_workers {
+            burst_retries += w.join().expect("a burst client failed");
+        }
+        let burst_requests = (clients * rounds * m) as u64;
+        let burst_shed = server_b.stats().shed;
+        drop(server_b);
+        println!(
+            "overload (burst): {burst_requests} requests through a 1-slot queue, \
+             {burst_shed} shed, {burst_retries} retries, 0 failures\n"
+        );
+
+        overload_json = format!(
+            "    \"overload\": {{ \"lameduck_requests\": {}, \"lameduck_shed\": {lameduck_shed}, \
+             \"burst_requests\": {burst_requests}, \"burst_shed\": {burst_shed}, \
+             \"burst_retries\": {burst_retries}, \"burst_failures\": 0 }}",
+            m as u64 + 1 + lameduck_policy.max_retries as u64
+        );
+    }
+
+    // ---- 6. Artifact ---------------------------------------------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
     let _ = writeln!(j, "  \"schema_version\": 1,");
@@ -397,8 +520,12 @@ fn main() {
     let _ = writeln!(
         j,
         "    \"hotswap\": {{ \"swaps\": {swaps}, \"requests\": {served}, \
-         \"errors\": {errors}, \"distinct_epochs\": {epochs} }}"
+         \"errors\": {errors}, \"distinct_epochs\": {epochs} }}{}",
+        if overload { "," } else { "" }
     );
+    if overload {
+        let _ = writeln!(j, "{overload_json}");
+    }
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 

@@ -87,7 +87,7 @@ fn wire_freeze_catches_a_tampered_frame_kind_against_the_committed_lock() {
 }
 
 #[test]
-fn the_committed_lock_freezes_all_twenty_constants() {
+fn the_committed_lock_freezes_all_twenty_one_constants() {
     let root = repo_root();
     let read = |rel: &str| fs::read_to_string(root.join(rel)).expect("source exists");
     let protocol = SourceFile::parse(workspace::WIRE_PROTOCOL, &read(workspace::WIRE_PROTOCOL));
@@ -99,7 +99,7 @@ fn the_committed_lock_freezes_all_twenty_constants() {
         .iter()
         .filter(|c| c.kind == "protocol-version")
         .count();
-    assert_eq!((versions, kinds, codes), (1, 9, 10), "{consts:?}");
+    assert_eq!((versions, kinds, codes), (1, 9, 11), "{consts:?}");
     // And the committed manifest is exactly the regenerated one, so
     // `--write-wire-lock` is idempotent on a clean tree.
     assert_eq!(

@@ -87,6 +87,44 @@ pub enum ServeError {
     },
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The batcher queue is full and the request was shed instead of
+    /// queued. Overload is transient by definition: the request was
+    /// refused *before* any work happened, so retrying after a backoff is
+    /// always safe.
+    Overloaded,
+    /// The worker executing the request panicked. The panic was contained
+    /// (queued neighbors still get answers, the dispatcher survives), but
+    /// this request produced no result.
+    WorkerPanicked,
+}
+
+impl ServeError {
+    /// Whether a client may safely retry the operation that produced this
+    /// error.
+    ///
+    /// Retryable errors are the *transient* ones — transport trouble
+    /// (`Io`, `ConnectionClosed`, `Truncated`), refusal before work
+    /// happened (`Overloaded`, `ShuttingDown`), a contained worker panic,
+    /// and `Remote` frames whose [`ErrorCode`] says the same
+    /// ([`ErrorCode::is_retryable`]). Everything else is deterministic —
+    /// a malformed frame or an unknown index fails identically on every
+    /// attempt, so retrying only wastes work.
+    ///
+    /// Queries are read-only, which is what makes "retry on transport
+    /// failure" safe: an ambiguous outcome (the request may or may not
+    /// have executed) cannot double-apply anything.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::Io(_)
+            | ServeError::ConnectionClosed
+            | ServeError::Truncated { .. }
+            | ServeError::ShuttingDown
+            | ServeError::Overloaded
+            | ServeError::WorkerPanicked => true,
+            ServeError::Remote { code, .. } => code.is_retryable(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -117,6 +155,12 @@ impl fmt::Display for ServeError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Overloaded => {
+                write!(f, "server overloaded: request shed before queueing")
+            }
+            ServeError::WorkerPanicked => {
+                write!(f, "worker panicked while executing the request")
+            }
         }
     }
 }
@@ -176,6 +220,11 @@ pub enum ErrorCode {
     /// Anything else the server hit while handling the request (I/O,
     /// snapshot trouble during an admin operation, …).
     Internal,
+    /// [`ServeError::Overloaded`] — the request was shed before queueing.
+    /// Appended in wire revision 2 of the error table; older clients see
+    /// an unknown code and treat it as fatal, which is safe (they just
+    /// don't retry).
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -192,6 +241,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 8,
             ErrorCode::ShuttingDown => 9,
             ErrorCode::Internal => 10,
+            ErrorCode::Overloaded => 11,
         }
     }
 
@@ -208,8 +258,21 @@ impl ErrorCode {
             8 => ErrorCode::BadRequest,
             9 => ErrorCode::ShuttingDown,
             10 => ErrorCode::Internal,
+            11 => ErrorCode::Overloaded,
             _ => return None,
         })
+    }
+
+    /// Whether a client may safely retry after receiving this code in an
+    /// error frame — the wire-level half of [`ServeError::is_retryable`].
+    /// `Overloaded` and `ShuttingDown` are refusals before any work;
+    /// `Internal` covers transient server-side trouble (a contained
+    /// worker panic, an I/O hiccup) on a read-only request.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::Internal
+        )
     }
 
     /// The code a server reports for a given local error.
@@ -224,6 +287,9 @@ impl ErrorCode {
             ServeError::DimMismatch { .. } => ErrorCode::DimMismatch,
             ServeError::BadRequest { .. } => ErrorCode::BadRequest,
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::Overloaded => ErrorCode::Overloaded,
+            // WorkerPanicked, Io, Snapshot, …: server-side trouble the
+            // wire summarizes as Internal.
             _ => ErrorCode::Internal,
         }
     }
@@ -246,13 +312,69 @@ mod tests {
             (ErrorCode::BadRequest, 8),
             (ErrorCode::ShuttingDown, 9),
             (ErrorCode::Internal, 10),
+            (ErrorCode::Overloaded, 11),
         ];
         for (code, wire) in all {
             assert_eq!(code.code(), wire);
             assert_eq!(ErrorCode::from_code(wire), Some(code));
         }
         assert_eq!(ErrorCode::from_code(0), None);
-        assert_eq!(ErrorCode::from_code(11), None);
+        assert_eq!(ErrorCode::from_code(12), None);
+    }
+
+    #[test]
+    fn retryability_separates_transient_from_deterministic() {
+        // Transient: refusal before work, transport trouble, contained
+        // panics.
+        for e in [
+            ServeError::Overloaded,
+            ServeError::ShuttingDown,
+            ServeError::WorkerPanicked,
+            ServeError::ConnectionClosed,
+            ServeError::Io(std::io::Error::other("x")),
+            ServeError::Truncated { context: "frame" },
+            ServeError::Remote {
+                code: ErrorCode::Overloaded,
+                message: String::new(),
+            },
+            ServeError::Remote {
+                code: ErrorCode::Internal,
+                message: String::new(),
+            },
+        ] {
+            assert!(e.is_retryable(), "{e} should be retryable");
+        }
+        // Deterministic: the same request fails the same way forever.
+        for e in [
+            ServeError::ChecksumMismatch,
+            ServeError::UnknownIndex { name: "x".into() },
+            ServeError::DimMismatch {
+                expected: 2,
+                found: 3,
+            },
+            ServeError::BadRequest {
+                reason: "k=0".into(),
+            },
+            ServeError::Remote {
+                code: ErrorCode::BadRequest,
+                message: String::new(),
+            },
+        ] {
+            assert!(!e.is_retryable(), "{e} should be fatal");
+        }
+    }
+
+    #[test]
+    fn overloaded_maps_to_its_appended_wire_code() {
+        assert_eq!(
+            ErrorCode::for_error(&ServeError::Overloaded),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            ErrorCode::for_error(&ServeError::WorkerPanicked),
+            ErrorCode::Internal
+        );
+        assert_eq!(ErrorCode::Overloaded.code(), 11);
     }
 
     #[test]

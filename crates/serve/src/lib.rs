@@ -75,8 +75,49 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
+/// Failpoint site names instrumented in this crate (see `pg_fault`).
+///
+/// The hooks behind them are compiled in only with the `failpoints` cargo
+/// feature; the names themselves are always available so chaos suites can
+/// enumerate every site (`sites::ALL`) and assert the failure contract at
+/// each one. `pg_store::sites` lists the snapshot-I/O sites the same
+/// feature turns on underneath this crate.
+pub mod sites {
+    /// Reading a request frame from an accepted connection.
+    pub const CONN_READ: &str = "serve.conn.read";
+    /// Writing a response frame to an accepted connection.
+    pub const CONN_WRITE: &str = "serve.conn.write";
+    /// Admitting a request into the batcher queue; a fired fault here is
+    /// treated as "queue full" and shed with
+    /// [`ServeError::Overloaded`](crate::error::ServeError::Overloaded).
+    pub const BATCH_QUEUE: &str = "serve.batcher.queue";
+    /// Handing a query (or batch group) to the engine. Runs inside the
+    /// panic-containment guard, so a `Panic` fault here exercises
+    /// `WorkerPanicked` instead of killing the dispatcher.
+    pub const ENGINE_DISPATCH: &str = "serve.engine.dispatch";
+    /// Every failpoint site this crate instruments.
+    pub const ALL: &[&str] = &[CONN_READ, CONN_WRITE, BATCH_QUEUE, ENGINE_DISPATCH];
+}
+
+/// Asks `pg_fault` whether an injected fault should fire at `site`; any
+/// fired fault becomes a [`ServeError::Io`](error::ServeError::Io) here.
+/// Compiled to a no-op without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+pub(crate) fn failpoint(site: &str) -> Result<(), error::ServeError> {
+    match pg_fault::hit(site) {
+        None => Ok(()),
+        Some(fault) => Err(error::ServeError::Io(fault.into_io_error(site))),
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn failpoint(_site: &str) -> Result<(), error::ServeError> {
+    Ok(())
+}
+
 pub use batcher::{Batcher, BatcherStats, Pending};
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use error::{ErrorCode, ServeError};
 pub use protocol::{IndexInfo, QueryReply, Request, Response, PROTOCOL_VERSION};
 pub use registry::{IndexRegistry, ServingIndex};

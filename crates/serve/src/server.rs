@@ -29,13 +29,14 @@ use std::time::Duration;
 
 use pg_metric::FlatRow;
 
-use crate::batcher::{run_single, Batcher, BatcherStats};
+use crate::batcher::{run_protected, Batcher, BatcherStats};
 use crate::error::ServeError;
 use crate::protocol::{
     decode_request, encode_response, error_response, write_frame, IndexInfo, Request, Response,
     LEN_PREFIX, MAX_FRAME_LEN, MIN_FRAME_LEN,
 };
 use crate::registry::IndexRegistry;
+use crate::sites;
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
@@ -49,6 +50,19 @@ pub struct ServeConfig {
     pub batching: bool,
     /// Largest number of queued queries one dispatch may coalesce.
     pub max_batch: usize,
+    /// Largest number of queries that may wait in the batcher queue at
+    /// once (default 1024). A request that would exceed it is refused
+    /// with an `Overloaded` error frame instead of queueing without bound
+    /// — load shedding keeps latency and memory bounded under overload.
+    /// `0` sheds every batched query (lame-duck mode). Ignored when
+    /// `batching` is off: the unbatched path has no queue, its natural
+    /// bound is one in-flight query per connection.
+    pub max_queue: usize,
+    /// How long a response write may block before the peer is declared
+    /// slow and disconnected (default 5 s). A peer that stops reading
+    /// otherwise pins a connection thread (and its kernel send buffer)
+    /// forever. `Duration::ZERO` disables the timeout.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +70,8 @@ impl Default for ServeConfig {
         ServeConfig {
             batching: true,
             max_batch: 256,
+            max_queue: 1024,
+            write_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -65,6 +81,7 @@ struct ServerShared {
     registry: Arc<IndexRegistry>,
     batcher: Option<Batcher>,
     shutdown: AtomicBool,
+    write_timeout: Duration,
 }
 
 /// A running server: an accept thread plus one handler thread per live
@@ -92,8 +109,11 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(ServerShared {
             registry,
-            batcher: config.batching.then(|| Batcher::start(config.max_batch)),
+            batcher: config
+                .batching
+                .then(|| Batcher::start(config.max_batch, config.max_queue)),
             shutdown: AtomicBool::new(false),
+            write_timeout: config.write_timeout,
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -180,6 +200,7 @@ fn read_frame_polling(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
 ) -> Result<Vec<u8>, ServeError> {
+    crate::failpoint(sites::CONN_READ)?;
     let mut frame = vec![0u8; LEN_PREFIX];
     let mut filled = 0usize;
     loop {
@@ -229,6 +250,16 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    // A peer that stops reading must not pin this thread forever: once the
+    // kernel send buffer fills, a write blocks until the timeout, then the
+    // slow peer is disconnected (`write_response` fails, the loop returns).
+    if shared.write_timeout != Duration::ZERO
+        && stream
+            .set_write_timeout(Some(shared.write_timeout))
+            .is_err()
+    {
+        return;
+    }
     loop {
         let response = match read_frame_polling(&mut stream, &shared.shutdown) {
             Ok(frame) => match decode_request(&frame) {
@@ -246,14 +277,23 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             // minimum: the stream cannot be resynced (or the server is
             // stopping), so send a best-effort final error frame and close.
             Err(err) => {
-                let _ = write_frame(&mut stream, &encode_response(&error_response(&err)));
+                let _ = write_response(&mut stream, &error_response(&err));
                 return;
             }
         };
-        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+        if write_response(&mut stream, &response).is_err() {
             return;
         }
     }
+}
+
+/// Writes one response frame, with the `serve.conn.write` failpoint ahead
+/// of the socket write. Any failure — injected, a real socket error, or a
+/// write timeout on a slow peer — disconnects.
+fn write_response(stream: &mut TcpStream, response: &Response) -> Result<(), ServeError> {
+    crate::failpoint(sites::CONN_WRITE)?;
+    write_frame(stream, &encode_response(response))?;
+    Ok(())
 }
 
 fn handle_request(request: Request, shared: &Arc<ServerShared>) -> Response {
@@ -309,7 +349,7 @@ fn try_handle(request: Request, shared: &Arc<ServerShared>) -> Result<Response, 
             let query = FlatRow::from(coords);
             let reply = match &shared.batcher {
                 Some(batcher) => batcher.run(serving, query, ef, k)?,
-                None => run_single(&serving, query, ef, k),
+                None => run_protected(&serving, query, ef, k)?,
             };
             Ok(Response::Query(reply))
         }

@@ -132,7 +132,7 @@ fn a_guaranteed_coalesced_batch_answers_like_single_queries() {
     registry.register("main", engine, ENTRY).unwrap();
     let serving = registry.get("main").unwrap();
 
-    let batcher = Batcher::start(256);
+    let batcher = Batcher::start(256, 1024);
     let queries = common::flat_queries(&common::queries(40, 9));
     let mut receivers = Vec::new();
     let mut group = Vec::new();

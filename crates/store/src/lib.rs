@@ -37,6 +37,14 @@
 //! and a [`Snapshot`] is only returned after all checksums and structural
 //! cross-checks pass.
 //!
+//! Writes are **atomic and durable**: [`Snapshot::save`] stages the bytes
+//! in a temporary sibling file, `sync_all`s it, and renames it over the
+//! destination, so a reader never observes a torn snapshot and a crash
+//! mid-save leaves the previous file intact (see [`Snapshot::save`] for
+//! the full crash-safety contract). The I/O steps carry `pg_fault`
+//! failpoints ([`sites`]) behind the `failpoints` cargo feature, and
+//! `tests/chaos.rs` drives every one of them.
+//!
 //! ```
 //! use pg_store::{BuildParams, IndexMeta, MetricTag, Snapshot};
 //!
@@ -61,7 +69,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The 8-byte magic prefix of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"PGIXSNAP";
@@ -336,6 +344,113 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
+/// Failpoint site names instrumented in this crate (see `pg_fault`).
+///
+/// The hooks behind them are compiled in only with the `failpoints` cargo
+/// feature; the names themselves are always available so chaos suites can
+/// enumerate every site (`sites::ALL`) and assert the failure contract at
+/// each one.
+pub mod sites {
+    /// Writing the snapshot payload into the temporary file.
+    /// `ShortWrite(n)` here persists an `n`-byte prefix then fails —
+    /// a simulated crash mid-write.
+    pub const SAVE_WRITE: &str = "store.save.write";
+    /// Flushing the temporary file to stable storage (`sync_all`).
+    pub const SAVE_SYNC: &str = "store.save.sync";
+    /// Renaming the temporary file over the destination.
+    pub const SAVE_RENAME: &str = "store.save.rename";
+    /// Reading the snapshot file in [`crate::Snapshot::load`].
+    pub const LOAD_READ: &str = "store.load.read";
+    /// Every failpoint site this crate instruments.
+    pub const ALL: &[&str] = &[SAVE_WRITE, SAVE_SYNC, SAVE_RENAME, LOAD_READ];
+}
+
+/// Asks `pg_fault` whether an injected fault should fire at `site`; any
+/// fired fault becomes a plain `io::Error` here. Compiled to a no-op
+/// without the `failpoints` feature.
+#[cfg(feature = "failpoints")]
+fn failpoint(site: &str) -> Result<(), std::io::Error> {
+    match pg_fault::hit(site) {
+        None => Ok(()),
+        Some(fault) => Err(fault.into_io_error(site)),
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn failpoint(_site: &str) -> Result<(), std::io::Error> {
+    Ok(())
+}
+
+/// Like [`failpoint`], but a `ShortWrite(n)` fault is returned as
+/// `Ok(Some(n))` so the write path can persist a torn prefix first.
+#[cfg(feature = "failpoints")]
+fn failpoint_write(site: &str) -> Result<Option<usize>, std::io::Error> {
+    match pg_fault::hit(site) {
+        None => Ok(None),
+        Some(pg_fault::Fault::ShortWrite(n)) => Ok(Some(n)),
+        Some(fault) => Err(fault.into_io_error(site)),
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+fn failpoint_write(_site: &str) -> Result<Option<usize>, std::io::Error> {
+    Ok(None)
+}
+
+/// A unique temporary sibling of `path`: same directory (so the final
+/// `rename` never crosses a filesystem boundary), name extended with
+/// `.tmp.<pid>.<seq>` (so concurrent savers in one or many processes
+/// never collide).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("snapshot"));
+    name.push(format!(".tmp.{}.{seq}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// The temp-file + `sync_all` + atomic-rename sequence behind
+/// [`Snapshot::save`], with a failpoint ahead of each fallible step.
+fn write_atomically(tmp: &Path, path: &Path, bytes: &[u8]) -> Result<(), std::io::Error> {
+    use std::io::Write as _;
+    let mut file = std::fs::File::create(tmp)?;
+    if let Some(n) = failpoint_write(sites::SAVE_WRITE)? {
+        // Simulated crash mid-write: persist a prefix of the payload in
+        // the temp file, then fail. The destination is untouched.
+        let prefix = bytes.get(..n.min(bytes.len())).unwrap_or(bytes);
+        file.write_all(prefix)?;
+        let _ = file.sync_all();
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::WriteZero,
+            format!(
+                "injected short write ({n} bytes) at `{}`",
+                sites::SAVE_WRITE
+            ),
+        ));
+    }
+    file.write_all(bytes)?;
+    failpoint(sites::SAVE_SYNC)?;
+    file.sync_all()?;
+    drop(file);
+    failpoint(sites::SAVE_RENAME)?;
+    std::fs::rename(tmp, path)?;
+    // Durability of the rename itself: sync the parent directory so the
+    // new entry survives a crash. Best-effort — opening a directory is
+    // not portable, and the data content is already safe either way.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 fn invalid(reason: impl Into<String>) -> SnapshotError {
     SnapshotError::Invalid {
         reason: reason.into(),
@@ -395,11 +510,35 @@ impl Snapshot {
         Ok(())
     }
 
-    /// Writes the snapshot to `path`, creating or overwriting the file.
+    /// Writes the snapshot to `path`, creating or overwriting the file
+    /// **atomically and durably**.
+    ///
+    /// # Crash safety
+    ///
+    /// The bytes go to a fresh temporary file (`<name>.tmp.<pid>.<seq>`)
+    /// in `path`'s own directory, are flushed to stable storage with
+    /// `sync_all`, and only then renamed over `path` — and `rename(2)`
+    /// within one filesystem is atomic. A concurrent or subsequent reader
+    /// (in particular `pg_serve`'s `swap_from_path`) therefore observes
+    /// either the complete previous file or the complete new one, never a
+    /// torn prefix: the mid-write race that used to surface as a spurious
+    /// `ChecksumMismatch` is structurally impossible. A crash mid-save
+    /// leaves at worst a `.tmp.*` sibling (which no reader ever opens)
+    /// plus the previous snapshot intact; on any save error the temporary
+    /// file is removed best-effort. After the rename, the parent
+    /// directory is `sync_all`-ed (best-effort — not every platform lets
+    /// a directory be opened) so the new directory entry is durable too.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
         let bytes = self.to_bytes()?;
-        std::fs::write(path, bytes)?;
-        Ok(())
+        let path = path.as_ref();
+        let tmp = tmp_sibling(path);
+        let result = write_atomically(&tmp, path, &bytes);
+        if result.is_err() {
+            // Never leave a torn temp file behind on a failed save. (A
+            // hard crash can still leave one; it is never read.)
+            let _ = std::fs::remove_file(&tmp);
+        }
+        Ok(result?)
     }
 
     fn encode_meta(&self) -> Vec<u8> {
@@ -564,6 +703,7 @@ impl Snapshot {
 
     /// Loads a snapshot from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        failpoint(sites::LOAD_READ)?;
         let bytes = std::fs::read(path)?;
         Snapshot::from_bytes(&bytes)
     }
