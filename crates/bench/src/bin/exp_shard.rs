@@ -1,0 +1,362 @@
+//! **Experiment SHARD** — the million-point unlock: `ShardedEngine` build
+//! and search frontiers at `n` far beyond what the single-engine benches
+//! touch, quality-guarded by sampled ground truth.
+//!
+//! The binary runs three phases, in order:
+//!
+//! 1. **Parity gate (before any timing).** On a small prefix-sized
+//!    workload it asserts the PR 9 tentpole contract directly: a
+//!    `ShardedEngine` at `ef = n` is **bit-identical** to a single
+//!    `QueryEngine` — result ids, distances, merge order, and aggregate
+//!    `dist_comps` — for shard counts {1, 2, 3, 8} × thread counts
+//!    {1, 2, machine}. Any divergence aborts the run; the JSON artifact
+//!    records `"failures": 0` only because the process survived.
+//! 2. **Build frontier.** For each shard count `S` it builds the sharded
+//!    index under a `Counting` metric (the clone-shared counter aggregates
+//!    across shards) and reports total build distance computations, build
+//!    seconds, and the recall@k the built index reaches at a reference
+//!    `ef` — the build-cost-vs-quality trade of splitting one `G_net` into
+//!    `S` smaller ones.
+//! 3. **Search frontier.** For each shard count it walks the `ef` axis on
+//!    the sampled queries and reports recall, mean dist comps/query, and
+//!    q/s — scored against **sampled ground truth**
+//!    (`GroundTruth::compute_or_load_sampled`, cached under
+//!    `target/gt-cache/` keyed by the sample-aware fingerprint), because
+//!    full ground truth at `n = 10^6` would cost `n · m` ≈ 10^9 distance
+//!    computations before the experiment even starts.
+//!
+//! Results land in `BENCH_<label>.json` with a `shard` section:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1, "label": "pr9", "smoke": false, "threads": 1,
+//!   "shard": {
+//!     "parity": {"n": 1500, "shard_counts": [1, 2, 3, 8],
+//!                "thread_counts": [1, 2, 8], "failures": 0},
+//!     "build": [{"shards": 8, "n": 1000000, "dist_comps": 123456789,
+//!                "seconds": 42.0, "ef": 64, "k": 10, "recall": 0.95}],
+//!     "search": [{"shards": 8, "n": 1000000, "ef": 64, "k": 10,
+//!                 "sampled_queries": 100, "recall": 0.95,
+//!                 "dist_comps": 812.0, "qps": 900.0}]
+//!   }
+//! }
+//! ```
+//!
+//! Run: `cargo run --release -p pg_bench --bin exp_shard
+//! [--smoke | --full] [--n N] [--shards S1,S2,…] [--sampled-queries C]
+//! [--threads N] [--label NAME] [--gt-cache DIR] [--force]`
+//!
+//! `--full` is the committed configuration: `n = 10^6`. See EXPERIMENTS.md
+//! for expected runtimes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pg_bench::{fmt, full_mode, init_threads, value_flag, Table};
+use pg_core::{GNet, QueryEngine, ShardAssignment, ShardedEngine};
+use pg_eval::{CacheStatus, FrontierSweep, GroundTruth};
+use pg_metric::{Counting, Euclidean, FlatRow};
+use pg_workloads as workloads;
+
+const EPSILON: f64 = 1.0;
+const DATA_SEED: u64 = 4242;
+const QUERY_SEED: u64 = 7177;
+const ASSIGN_SEED: u64 = 7;
+const SAMPLE_SEED: u64 = 909;
+
+/// `f64` as a JSON number, with non-finite values as `null`.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn machine_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |t| t.get())
+}
+
+struct BuildRow {
+    shards: usize,
+    dist_comps: u64,
+    seconds: f64,
+    recall: f64,
+}
+
+struct SearchRow {
+    shards: usize,
+    ef: usize,
+    recall: f64,
+    ratio: f64,
+    dist_comps: f64,
+    qps: f64,
+}
+
+/// The parity gate: sharded == single, bit for bit, at `ef = n`.
+/// Returns the gate size and the thread counts exercised; panics on any
+/// divergence (this runs before a single timer starts).
+fn parity_gate(n_gate: usize, d: usize, side: f64, k: usize) -> (usize, Vec<usize>) {
+    let points = workloads::uniform_cube_flat(n_gate, d, side, DATA_SEED);
+    let queries: Vec<FlatRow> =
+        workloads::uniform_queries_flat(24, d, 0.0, side, QUERY_SEED).into_rows();
+    let single = {
+        let data = points.clone().into_dataset(Euclidean);
+        let g = GNet::build(&data, EPSILON);
+        QueryEngine::new(g.graph, data)
+    };
+    let starts = vec![0u32; queries.len()];
+    let want = single.batch_beam_detailed(&starts, &queries, n_gate, k);
+    let thread_counts = vec![1, 2, machine_threads()];
+    for shards in [1usize, 2, 3, 8] {
+        let engine = ShardedEngine::build(
+            &points,
+            Euclidean,
+            EPSILON,
+            shards,
+            &ShardAssignment::SeededRandom { seed: ASSIGN_SEED },
+        );
+        for &t in &thread_counts {
+            let got = engine
+                .clone()
+                .with_threads(t)
+                .batch_beam_detailed(&queries, n_gate, k);
+            assert_eq!(
+                got.outcomes, want.outcomes,
+                "PARITY FAILURE: {shards} shards at {t} threads diverged from the single engine"
+            );
+            assert_eq!(
+                got.dist_comps, want.dist_comps,
+                "PARITY FAILURE: aggregate dist_comps diverged at {shards} shards / {t} threads"
+            );
+        }
+    }
+    (n_gate, thread_counts)
+}
+
+fn main() {
+    let threads = init_threads();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = full_mode();
+    let (n_default, m, sample_default, shards_default, efs): (
+        usize,
+        usize,
+        usize,
+        &[usize],
+        Vec<usize>,
+    ) = if smoke {
+        (2_000, 64, 16, &[1, 2, 4], vec![4, 16, 64])
+    } else if full {
+        (1_000_000, 1_000, 100, &[1, 8, 32], vec![16, 64, 256])
+    } else {
+        (50_000, 400, 50, &[1, 4, 16], vec![8, 32, 128])
+    };
+    let n: usize = value_flag("--n")
+        .map(|v| v.parse().expect("--n takes a positive integer"))
+        .unwrap_or(n_default);
+    let shard_list: Vec<usize> = value_flag("--shards")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--shards takes S1,S2,…"))
+                .collect()
+        })
+        .unwrap_or_else(|| shards_default.to_vec());
+    let sample_count: usize = value_flag("--sampled-queries")
+        .map(|v| {
+            v.parse()
+                .expect("--sampled-queries takes a positive integer")
+        })
+        .unwrap_or(sample_default);
+    assert!(sample_count <= m, "--sampled-queries must be <= {m}");
+    let k = 10usize;
+    // Low dimension on purpose: G_net's degree grows exponentially with the
+    // doubling dimension (Theorem 1.1's 2^O(λ) factor), so d = 2 is where
+    // million-point graphs stay sparse enough to search in sub-linear time —
+    // the same regime the paper's separation results live in.
+    let d = 2usize;
+    let side = 1_000.0;
+    let ef_ref = efs[efs.len() / 2];
+    let label_flag = value_flag("--label");
+    let label_is_default = label_flag.is_none();
+    let label = label_flag.unwrap_or_else(|| if smoke { "smoke".into() } else { "pr9".into() });
+    let gt_dir = value_flag("--gt-cache").unwrap_or_else(|| "target/gt-cache".into());
+
+    println!(
+        "# SHARD: sharded build/search frontiers \
+         (n = {n}, d = {d}, k = {k}, shards {shard_list:?}, \
+         {sample_count}/{m} sampled queries, {threads} thread(s), label: {label})\n"
+    );
+
+    // ---- phase 1: parity gate, before any timing --------------------------
+    let (gate_n, gate_threads) = parity_gate(n.min(1_500), d, side, k.min(5));
+    println!(
+        "Parity gate passed: sharded == single engine bit-for-bit at n = {gate_n}, \
+         shard counts {{1, 2, 3, 8}} x thread counts {gate_threads:?}.\n"
+    );
+
+    // ---- workload and sampled ground truth --------------------------------
+    let points = workloads::uniform_cube_flat(n, d, side, DATA_SEED);
+    let all_queries: Vec<FlatRow> =
+        workloads::uniform_queries_flat(m, d, 0.0, side, QUERY_SEED).into_rows();
+    let gt_path = format!("{gt_dir}/shard_n{n}_d{d}_m{m}_k{k}_s{sample_count}.pggt");
+    let gt_data = points.clone().into_dataset(Euclidean);
+    let gt_start = Instant::now();
+    let (truth, picked, status) = GroundTruth::compute_or_load_sampled(
+        &gt_path,
+        &gt_data,
+        &all_queries,
+        k,
+        SAMPLE_SEED,
+        sample_count,
+    )
+    .expect("sampled ground-truth cache read/write");
+    drop(gt_data);
+    let sampled: Vec<FlatRow> = picked.iter().map(|&i| all_queries[i].clone()).collect();
+    println!(
+        "Sampled ground truth over {sample_count} of {m} queries: {} ({:.1}s).\n",
+        match status {
+            CacheStatus::Hit => "cache hit",
+            CacheStatus::Miss => "computed, cached",
+        },
+        gt_start.elapsed().as_secs_f64()
+    );
+
+    // ---- phases 2 + 3: build and search frontiers per shard count ---------
+    let sweep = FrontierSweep::new(k, efs.clone());
+    let mut build_rows: Vec<BuildRow> = Vec::new();
+    let mut search_rows: Vec<SearchRow> = Vec::new();
+    for &shards in &shard_list {
+        let counting = Counting::new(Euclidean);
+        let t0 = Instant::now();
+        let engine = ShardedEngine::build(
+            &points,
+            counting.clone(),
+            EPSILON,
+            shards,
+            &ShardAssignment::SeededRandom { seed: ASSIGN_SEED },
+        );
+        let seconds = t0.elapsed().as_secs_f64();
+        let build_comps = counting.count();
+        println!(
+            "built {shards} shard(s) of n = {n} in {:.1}s ({build_comps} build dist comps)",
+            seconds
+        );
+
+        for &ef in &efs {
+            let t0 = Instant::now();
+            let batch = engine.batch_beam_detailed(&sampled, ef, k);
+            let elapsed = t0.elapsed().as_secs_f64();
+            let score = sweep.score_outcomes(&truth, &batch.outcomes);
+            if ef == ef_ref {
+                build_rows.push(BuildRow {
+                    shards,
+                    dist_comps: build_comps,
+                    seconds,
+                    recall: score.recall,
+                });
+            }
+            search_rows.push(SearchRow {
+                shards,
+                ef,
+                recall: score.recall,
+                ratio: score.mean_dist_ratio,
+                dist_comps: score.dist_comps,
+                qps: sampled.len() as f64 / elapsed,
+            });
+        }
+    }
+    println!();
+
+    println!("Build frontier (recall column at reference ef = {ef_ref}):\n");
+    let mut btable = Table::new(&["shards", "n", "build dists", "seconds", "recall@k"]);
+    for r in &build_rows {
+        btable.row(vec![
+            r.shards.to_string(),
+            n.to_string(),
+            r.dist_comps.to_string(),
+            fmt(r.seconds, 1),
+            fmt(r.recall, 3),
+        ]);
+    }
+    btable.print();
+
+    println!("\nSearch frontier ({sample_count} sampled queries):\n");
+    let mut stable = Table::new(&["shards", "ef", "recall@k", "ratio", "dists/q", "q/s"]);
+    for r in &search_rows {
+        stable.row(vec![
+            r.shards.to_string(),
+            r.ef.to_string(),
+            fmt(r.recall, 3),
+            fmt(r.ratio, 3),
+            fmt(r.dist_comps, 0),
+            fmt(r.qps, 0),
+        ]);
+    }
+    stable.print();
+
+    println!("\nReading guide: more shards cut build dist comps (each G_net is built on a");
+    println!("smaller set) but spend more search dists/q at fixed ef (every shard is probed);");
+    println!("recall at matched ef stays close because each shard returns its exact local");
+    println!("top-k candidates. See EXPERIMENTS.md for the schema and expected runtimes.");
+
+    // ---- JSON artifact ----------------------------------------------------
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"label\": \"{label}\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"threads\": {threads},");
+    let _ = writeln!(j, "  \"shard\": {{");
+    let _ = writeln!(
+        j,
+        "    \"parity\": {{\"n\": {gate_n}, \"shard_counts\": [1, 2, 3, 8], \
+         \"thread_counts\": [{}], \"failures\": 0}},",
+        gate_threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(j, "    \"build\": [");
+    for (i, r) in build_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "      {{\"shards\": {}, \"n\": {n}, \"dist_comps\": {}, \"seconds\": {}, \
+             \"ef\": {ef_ref}, \"k\": {k}, \"recall\": {}}}{}",
+            r.shards,
+            r.dist_comps,
+            jf(r.seconds),
+            jf(r.recall),
+            if i + 1 < build_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "    ],");
+    let _ = writeln!(j, "    \"search\": [");
+    for (i, r) in search_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "      {{\"shards\": {}, \"n\": {n}, \"ef\": {}, \"k\": {k}, \
+             \"sampled_queries\": {sample_count}, \"recall\": {}, \"dist_comps\": {}, \
+             \"qps\": {}}}{}",
+            r.shards,
+            r.ef,
+            jf(r.recall),
+            jf(r.dist_comps),
+            jf(r.qps),
+            if i + 1 < search_rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(j, "    ]");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    match pg_bench::write_bench_artifact(&label, label_is_default, &j) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -25,7 +25,11 @@
 //!   across a thread pool with results identical to the sequential routines;
 //! * [`snapshot`] — engine persistence: `QueryEngine::save`/`load` through
 //!   the versioned `pg_store` on-disk format, with a loaded engine answering
-//!   bit-identically to the one that was saved.
+//!   bit-identically to the one that was saved;
+//! * [`sharded`] — one logical index over millions of points as `S`
+//!   independent per-shard sub-indexes, searched in parallel and merged in
+//!   surrogate space with a deterministic tie-break, so results are
+//!   bit-identical across shard counts and thread counts.
 //!
 //! The crate map, the flat-storage design, and the snapshot format spec
 //! live in `ARCHITECTURE.md` at the repository root.
@@ -58,6 +62,7 @@ pub mod merged;
 pub mod navigability;
 pub mod params;
 pub mod search;
+pub mod sharded;
 pub mod snapshot;
 pub mod theta;
 
@@ -68,6 +73,10 @@ pub use graph::{Graph, GraphBuilder};
 pub use merged::{MergedGraph, MergedParams};
 pub use navigability::{check_navigable, check_pg_exhaustive, Starts, Violation};
 pub use params::GNetParams;
-pub use search::{beam_search, beam_search_detailed, greedy, query, BeamOutcome, GreedyOutcome};
+pub use search::{
+    beam_search, beam_search_detailed, beam_search_surrogate, greedy, query, BeamOutcome,
+    BeamSurrogate, GreedyOutcome,
+};
+pub use sharded::{ShardAssignment, ShardedEngine};
 pub use snapshot::{AnyEngine, SnapshotMetric};
 pub use theta::{ConeSet, ThetaGraph};

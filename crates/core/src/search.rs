@@ -201,6 +201,58 @@ pub fn beam_search_detailed<P, M: Metric<P>>(
     ef: usize,
     k: usize,
 ) -> BeamOutcome {
+    let BeamSurrogate {
+        mut results,
+        dist_comps,
+        expansions,
+    } = beam_search_surrogate(graph, data, p_start, q, ef, k);
+    for e in &mut results {
+        e.1 = data.dist_from_surrogate(e.1);
+    }
+    BeamOutcome {
+        results,
+        dist_comps,
+        expansions,
+    }
+}
+
+/// The result of one [`beam_search_surrogate`] call: the same walk as
+/// [`beam_search_detailed`], but with the result list still in **surrogate
+/// space** (squared distance under `L_2`), sorted by `(surrogate, id)` and
+/// truncated to `k`. This is the merge-ready form a sharded search needs:
+/// per-shard top-`k` lists can be merged on the exact surrogate keys (with
+/// ids remapped to a global id space) and mapped to true distances once,
+/// reproducing the single-index `(distance, id)` order bit-for-bit — mapping
+/// to distances *before* merging would round away ties the surrogate keys
+/// still distinguish.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeamSurrogate {
+    /// Up to `k` results as `(id, surrogate)`, ascending by surrogate with
+    /// ties broken by id. [`Metric::dist_from_surrogate`]
+    /// (`pg_metric::Metric::dist_from_surrogate`) maps each key to the true
+    /// distance; equal surrogates always map to equal distances, so this
+    /// order refines the [`BeamOutcome::results`] order.
+    pub results: Vec<(u32, f64)>,
+    /// Number of distance computations performed by this query (one per
+    /// surrogate evaluation — identical accounting to [`BeamOutcome`]).
+    pub dist_comps: u64,
+    /// Number of vertices expanded (see [`BeamOutcome::expansions`]).
+    pub expansions: u64,
+}
+
+/// The surrogate-space core of [`beam_search_detailed`]: identical walk,
+/// identical accounting, but the `(id, surrogate)` result list is returned
+/// before the final map to true distances (see [`BeamSurrogate`] for why a
+/// sharded merge needs exactly this form). [`beam_search_detailed`] is this
+/// plus one `dist_from_surrogate` per result.
+pub fn beam_search_surrogate<P, M: Metric<P>>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    p_start: u32,
+    q: &P,
+    ef: usize,
+    k: usize,
+) -> BeamSurrogate {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -261,10 +313,7 @@ pub fn beam_search_detailed<P, M: Metric<P>>(
     let mut out: Vec<(u32, f64)> = results.into_iter().map(|Cand(d, v)| (v, d)).collect();
     out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
-    for e in &mut out {
-        e.1 = data.dist_from_surrogate(e.1);
-    }
-    BeamOutcome {
+    BeamSurrogate {
         results: out,
         dist_comps: comps,
         expansions,
@@ -502,6 +551,27 @@ mod tests {
         let det = beam_search_detailed(&Graph::empty(40), &ds, 7, &q, 4, 1);
         assert_eq!(det.expansions, 1);
         assert_eq!(det.results, vec![(7, ds.dist_to(7, &q))]);
+    }
+
+    #[test]
+    fn beam_surrogate_is_the_detailed_walk_before_the_distance_map() {
+        let ds = line_dataset(40);
+        let g = path_graph(40);
+        let q = vec![25.2];
+        let sur = beam_search_surrogate(&g, &ds, 0, &q, 8, 3);
+        let det = beam_search_detailed(&g, &ds, 0, &q, 8, 3);
+        assert_eq!(sur.dist_comps, det.dist_comps);
+        assert_eq!(sur.expansions, det.expansions);
+        assert_eq!(sur.results.len(), det.results.len());
+        for (s, d) in sur.results.iter().zip(det.results.iter()) {
+            assert_eq!(s.0, d.0);
+            assert_eq!(ds.dist_from_surrogate(s.1), d.1);
+        }
+        // Surrogate keys are sorted (surrogate, id) — the merge invariant.
+        assert!(sur
+            .results
+            .windows(2)
+            .all(|w| w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Sharded search: one logical index over millions of points, served by
+//! `S` independent per-shard sub-indexes with a parity-pinned merge.
+//!
+//! The paper's fast-construction claim (Theorem 1.1) matters most at
+//! scales a single in-memory build starts to strain; the NSW lineage
+//! (Malkov et al.) points out the structure "can be made distributed" by
+//! splitting the dataset. [`ShardedEngine`] does exactly that, under this
+//! workspace's determinism discipline:
+//!
+//! * **Partition** — a [`ShardAssignment`] splits the global id space
+//!   `0..n` into `S` non-empty, strictly-ascending id lists (seeded random
+//!   assignment today, pluggable for clustered assignment later). The
+//!   partition is recorded as a [`pg_store::ShardManifest`], so it is
+//!   validated on every load.
+//! * **Per-shard indexes** — each shard holds its own
+//!   [`GNet`] + [`QueryEngine`] over a compact copy of
+//!   its points; shard-local ids are positions in the ascending global-id
+//!   list, so local id order agrees with global id order.
+//! * **Parallel search** — a batch fans out as a `(query × shard)` cross
+//!   product through the order-preserving pool
+//!   (`rayon::par_map_indexed_with`), so the schedule can never reorder
+//!   results.
+//! * **Surrogate-space merge** — per-shard top-`k` lists come back still
+//!   in surrogate space ([`beam_search_surrogate`]) and are merged on the
+//!   key `(surrogate, global id)`, then mapped to true distances once.
+//!   Merging *after* the distance map would round away ties the surrogate
+//!   keys still distinguish; merging in surrogate space makes the result
+//!   list bit-identical across shard counts and thread counts.
+//!
+//! # The exactness/parity contract
+//!
+//! With `ef >= n`, beam search on a connected graph visits every vertex of
+//! its component exactly once, so each shard returns its *exact* top-`k`
+//! (by `(surrogate, id)`) at a cost of exactly `shard size` distance
+//! computations. Because a global top-`k` element is also a top-`k`
+//! element of its own shard, merging exact per-shard lists on
+//! `(surrogate, global id)` reproduces the single-engine result list —
+//! results, order, and aggregate `dist_comps` — bit-for-bit, for **every**
+//! shard count and thread count. `tests/proptest_sharded.rs` pins this on
+//! tie-heavy integer datasets. At realistic `ef < n` the engines trade
+//! recall for cost instead, which is what `exp_shard` measures.
+//!
+//! # Persistence
+//!
+//! [`ShardedEngine::save`] writes one ordinary `pg_store` snapshot per
+//! shard plus a [`ShardManifest`] — written **last**, so a directory with
+//! a manifest always has all its shard files. [`ShardedEngine::load`] is
+//! all-or-nothing: any missing, corrupt, or inconsistent shard fails the
+//! whole load with a typed [`SnapshotError`] and no partially-loaded
+//! engine is observable.
+//!
+//! ```
+//! use pg_core::sharded::{ShardAssignment, ShardedEngine};
+//! use pg_metric::{Euclidean, FlatPoints, FlatRow};
+//!
+//! let points = FlatPoints::from_fn(120, 2, |i, out| {
+//!     out.push((i % 12) as f64);
+//!     out.push((i / 12) as f64);
+//! });
+//! let sharded = ShardedEngine::build(
+//!     &points,
+//!     Euclidean,
+//!     1.0,
+//!     3,
+//!     &ShardAssignment::SeededRandom { seed: 7 },
+//! );
+//! let queries: Vec<FlatRow> = vec![vec![3.2, 4.1].into()];
+//! // ef >= n: exact — identical to an unsharded engine over the same points.
+//! let batch = sharded.batch_beam_detailed(&queries, 120, 5);
+//! assert_eq!(batch.outcomes[0].results.len(), 5);
+//! assert_eq!(batch.dist_comps, 120); // every point visited exactly once
+//! ```
+
+use std::path::Path;
+
+use pg_metric::{FlatPoints, FlatRow, Metric};
+use pg_store::{shard_file_name, BuildParams, ShardManifest, SnapshotError, SHARD_MANIFEST_FILE};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::engine::{BatchBeamDetail, BatchBeamOutcome, QueryEngine};
+use crate::gnet::GNet;
+use crate::graph::Graph;
+use crate::params::GNetParams;
+use crate::search::{beam_search_surrogate, BeamOutcome};
+use crate::snapshot::SnapshotMetric;
+
+/// How points are assigned to shards. Every strategy is a pure function of
+/// `(n, shard count)` plus its own parameters, so a partition is
+/// reproducible from the recorded configuration alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAssignment {
+    /// Seeded uniform assignment: Fisher–Yates-shuffle `0..n` with the
+    /// workspace `StdRng` (SplitMix64), deal the shuffled ids round-robin
+    /// into the shards (balanced to within one point), then sort each
+    /// shard's list ascending. The same `(seed, n, shards)` always yields
+    /// the same partition. Pluggable later: a clustered strategy (e.g.
+    /// net-center-based) slots in as a new variant without touching the
+    /// engine.
+    SeededRandom {
+        /// The shuffle seed.
+        seed: u64,
+    },
+}
+
+impl ShardAssignment {
+    /// Partitions `0..n` into `shards` strictly-ascending, non-empty id
+    /// lists. Requires `1 <= shards <= n` and `n <= u32::MAX`.
+    pub fn assign(&self, n: usize, shards: usize) -> Vec<Vec<u32>> {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            shards <= n,
+            "cannot split {n} points into {shards} non-empty shards"
+        );
+        assert!(n <= u32::MAX as usize, "n exceeds u32 id space");
+        match self {
+            ShardAssignment::SeededRandom { seed } => {
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                ids.shuffle(&mut rng);
+                let mut out: Vec<Vec<u32>> = (0..shards)
+                    .map(|_| Vec::with_capacity(n / shards + 1))
+                    .collect();
+                for (j, id) in ids.into_iter().enumerate() {
+                    out[j % shards].push(id);
+                }
+                for shard in &mut out {
+                    shard.sort_unstable();
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One logical index over `n` points, physically split into `S`
+/// independent [`QueryEngine`] shards searched in parallel and merged in
+/// surrogate space (see the module docs for the full contract).
+#[derive(Debug, Clone)]
+pub struct ShardedEngine<M> {
+    shards: Vec<QueryEngine<FlatRow, M>>,
+    global_ids: Vec<Vec<u32>>,
+    build: Option<BuildParams>,
+    threads: usize,
+    n: usize,
+}
+
+impl<M: Metric<FlatRow> + Clone + Sync> ShardedEngine<M> {
+    /// Builds a sharded engine: partitions `points` with `assignment`,
+    /// then builds one `G_net` + [`QueryEngine`] per shard (each shard's
+    /// build runs its inner loops on the shared pool). The metric is
+    /// cloned per shard — a `Counting` wrapper's shared counter therefore
+    /// aggregates build *and* search distance computations across all
+    /// shards, exactly like the unsharded engines.
+    pub fn build(
+        points: &FlatPoints,
+        metric: M,
+        epsilon: f64,
+        shard_count: usize,
+        assignment: &ShardAssignment,
+    ) -> Self {
+        let n = points.len();
+        let global_ids = assignment.assign(n, shard_count);
+        let dim = points.dim();
+        let shards: Vec<QueryEngine<FlatRow, M>> = global_ids
+            .iter()
+            .map(|ids| {
+                let mut shard_points = FlatPoints::with_capacity(ids.len(), dim);
+                for &id in ids {
+                    shard_points.push(points.row(id as usize));
+                }
+                let data = shard_points.into_dataset(metric.clone());
+                // A one-point shard is trivially navigable; `G_net`'s net
+                // hierarchy (sensibly) refuses datasets this small.
+                let graph = if ids.len() == 1 {
+                    Graph::empty(1)
+                } else {
+                    GNet::build(&data, epsilon).graph
+                };
+                QueryEngine::new(graph, data)
+            })
+            .collect();
+        ShardedEngine {
+            shards,
+            global_ids,
+            build: Some(GNetParams::new(epsilon).into()),
+            threads: rayon::current_num_threads(),
+            n,
+        }
+    }
+}
+
+impl<M> ShardedEngine<M> {
+    /// Number of indexed points `n` across all shards.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: every shard is non-empty by the partition invariant.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard engines, in shard order.
+    pub fn shards(&self) -> &[QueryEngine<FlatRow, M>] {
+        &self.shards
+    }
+
+    /// The per-shard global-id lists (strictly ascending; entry `s` maps
+    /// shard `s`'s local ids to global ids).
+    pub fn global_ids(&self) -> &[Vec<u32>] {
+        &self.global_ids
+    }
+
+    /// The recorded build parameters, if any (saved into every shard's
+    /// snapshot metadata).
+    pub fn build_params(&self) -> Option<BuildParams> {
+        self.build
+    }
+
+    /// The worker count batch calls use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the worker count (at least 1). Like
+    /// [`QueryEngine::with_threads`], this changes only the wall clock:
+    /// every batch result is independent of the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = threads;
+        self
+    }
+}
+
+impl<M: Metric<FlatRow> + Sync> ShardedEngine<M> {
+    /// Searches every query against every shard in parallel (width `ef`,
+    /// top `k` per shard, each shard entered at its local vertex 0) and
+    /// merges per-shard results on `(surrogate, global id)` — the
+    /// deterministic tie-break that makes the output identical across
+    /// shard counts and thread counts (module docs). Each outcome carries
+    /// the aggregate `dist_comps`/`expansions` of its `S` shard searches;
+    /// results are global ids with true distances, ascending by
+    /// `(distance, id)` like every search routine in the workspace.
+    pub fn batch_beam_detailed(&self, queries: &[FlatRow], ef: usize, k: usize) -> BatchBeamDetail {
+        let s = self.shards.len();
+        let pairs: Vec<(usize, usize)> = (0..queries.len())
+            .flat_map(|q| (0..s).map(move |i| (q, i)))
+            .collect();
+        let per_pair = rayon::par_map_indexed_with(self.threads, &pairs, |_, &(q, i)| {
+            let shard = &self.shards[i];
+            beam_search_surrogate(shard.graph(), shard.data(), 0, &queries[q], ef, k)
+        });
+        let outcomes: Vec<BeamOutcome> = (0..queries.len())
+            .map(|q| {
+                let mut merged: Vec<(u32, f64)> = Vec::with_capacity(s * k);
+                let mut dist_comps = 0u64;
+                let mut expansions = 0u64;
+                for i in 0..s {
+                    let out = &per_pair[q * s + i];
+                    dist_comps += out.dist_comps;
+                    expansions += out.expansions;
+                    for &(local, sur) in &out.results {
+                        merged.push((self.global_ids[i][local as usize], sur));
+                    }
+                }
+                merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                merged.truncate(k);
+                let data = self.shards[0].data();
+                let results = merged
+                    .into_iter()
+                    .map(|(id, sur)| (id, data.dist_from_surrogate(sur)))
+                    .collect();
+                BeamOutcome {
+                    results,
+                    dist_comps,
+                    expansions,
+                }
+            })
+            .collect();
+        let dist_comps = outcomes.iter().map(|o| o.dist_comps).sum();
+        BatchBeamDetail {
+            outcomes,
+            dist_comps,
+        }
+    }
+
+    /// [`ShardedEngine::batch_beam_detailed`] without the per-query
+    /// accounting — result lists plus the batch distance total.
+    pub fn batch_beam(&self, queries: &[FlatRow], ef: usize, k: usize) -> BatchBeamOutcome {
+        let detail = self.batch_beam_detailed(queries, ef, k);
+        BatchBeamOutcome {
+            results: detail.outcomes.into_iter().map(|o| o.results).collect(),
+            dist_comps: detail.dist_comps,
+        }
+    }
+}
+
+impl<M: Metric<FlatRow> + SnapshotMetric + Sync> ShardedEngine<M> {
+    /// Saves the engine into directory `dir`: one `pg_store` snapshot per
+    /// shard ([`shard_file_name`]), then the [`ShardManifest`]
+    /// ([`SHARD_MANIFEST_FILE`]) **last** — each write atomic and durable,
+    /// so a crash mid-save never leaves a manifest pointing at missing
+    /// shard files.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.save_with(dir.join(shard_file_name(i)), 0, self.build)?;
+        }
+        let manifest = ShardManifest::new(self.n as u64, self.global_ids.clone())?;
+        manifest.save(dir.join(SHARD_MANIFEST_FILE))
+    }
+
+    /// Loads a sharded engine saved by [`ShardedEngine::save`].
+    /// All-or-nothing: the manifest is validated first (partition
+    /// invariant included), then every shard file must load, match the
+    /// manifest's shard size, agree on dimensionality, and carry `M`'s
+    /// metric tag — any failure returns the typed [`SnapshotError`] and no
+    /// engine. A loaded engine answers bit-identically to the saved one.
+    pub fn load(dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let dir = dir.as_ref();
+        let manifest = ShardManifest::load(dir.join(SHARD_MANIFEST_FILE))?;
+        let n = manifest.n() as usize;
+        let global_ids = manifest.into_shards();
+        let mut shards: Vec<QueryEngine<FlatRow, M>> = Vec::with_capacity(global_ids.len());
+        let mut build: Option<BuildParams> = None;
+        let mut dims: Option<usize> = None;
+        for (i, ids) in global_ids.iter().enumerate() {
+            let (engine, meta) =
+                QueryEngine::<FlatRow, M>::load_with_meta(dir.join(shard_file_name(i)))?;
+            if engine.data().len() != ids.len() {
+                return Err(SnapshotError::Invalid {
+                    reason: format!(
+                        "shard {i} holds {} points, the manifest assigns it {}",
+                        engine.data().len(),
+                        ids.len()
+                    ),
+                });
+            }
+            let shard_dims = engine.data().point(0).dim();
+            match dims {
+                None => dims = Some(shard_dims),
+                Some(d) if d != shard_dims => {
+                    return Err(SnapshotError::Invalid {
+                        reason: format!(
+                            "shard {i} stores {shard_dims}-dimensional points, shard 0 stores {d}"
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+            if build.is_none() {
+                build = meta.build;
+            }
+            shards.push(engine);
+        }
+        Ok(ShardedEngine {
+            shards,
+            global_ids,
+            build,
+            threads: rayon::current_num_threads(),
+            n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_metric::{Counting, Euclidean};
+
+    /// A tie-heavy integer grid: many distinct points at equal distances
+    /// from round-number queries.
+    fn grid(n: usize) -> FlatPoints {
+        FlatPoints::from_fn(n, 2, |i, out| {
+            out.push((i % 16) as f64);
+            out.push((i / 16) as f64);
+        })
+    }
+
+    fn queries(m: usize) -> Vec<FlatRow> {
+        (0..m)
+            .map(|i| FlatRow::from(vec![(i % 7) as f64, (i % 5) as f64]))
+            .collect()
+    }
+
+    #[test]
+    fn assignment_is_a_balanced_deterministic_partition() {
+        let a = ShardAssignment::SeededRandom { seed: 42 };
+        let parts = a.assign(103, 4);
+        assert_eq!(parts, a.assign(103, 4), "same seed, same partition");
+        assert_ne!(
+            parts,
+            ShardAssignment::SeededRandom { seed: 43 }.assign(103, 4),
+            "different seed, different partition"
+        );
+        let manifest = ShardManifest::new(103, parts.clone()).unwrap();
+        assert_eq!(manifest.shard_count(), 4);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert!(sizes.iter().all(|&s| s == 25 || s == 26), "{sizes:?}");
+        for p in &parts {
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "ascending per shard");
+        }
+    }
+
+    #[test]
+    fn exact_search_matches_the_unsharded_engine_bit_for_bit() {
+        let points = grid(96);
+        let single = {
+            let data = points.clone().into_dataset(Euclidean);
+            let g = GNet::build(&data, 1.0);
+            QueryEngine::new(g.graph, data)
+        };
+        let qs = queries(9);
+        let starts = vec![0u32; qs.len()];
+        let want = single.batch_beam_detailed(&starts, &qs, 96, 4);
+        for shards in [1, 2, 3, 8] {
+            let engine = ShardedEngine::build(
+                &points,
+                Euclidean,
+                1.0,
+                shards,
+                &ShardAssignment::SeededRandom { seed: 5 },
+            );
+            let got = engine.batch_beam_detailed(&qs, 96, 4);
+            assert_eq!(got.outcomes, want.outcomes, "diverged at {shards} shards");
+            assert_eq!(got.dist_comps, want.dist_comps);
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let points = grid(80);
+        let engine = ShardedEngine::build(
+            &points,
+            Euclidean,
+            1.0,
+            3,
+            &ShardAssignment::SeededRandom { seed: 11 },
+        );
+        let qs = queries(7);
+        let base = engine
+            .clone()
+            .with_threads(1)
+            .batch_beam_detailed(&qs, 20, 3);
+        let machine = std::thread::available_parallelism().map_or(1, |t| t.get());
+        for t in [2, machine] {
+            let got = engine
+                .clone()
+                .with_threads(t)
+                .batch_beam_detailed(&qs, 20, 3);
+            assert_eq!(got.outcomes, base.outcomes, "diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn counting_metric_aggregates_across_shards() {
+        let points = grid(60);
+        let counting = Counting::new(Euclidean);
+        let engine = ShardedEngine::build(
+            &points,
+            counting.clone(),
+            1.0,
+            4,
+            &ShardAssignment::SeededRandom { seed: 2 },
+        );
+        assert!(counting.count() > 0, "build cost was counted");
+        counting.reset();
+        let qs = queries(5);
+        let batch = engine.batch_beam_detailed(&qs, 60, 3);
+        assert_eq!(counting.count(), batch.dist_comps);
+        // ef >= n visits every point in every shard exactly once.
+        assert_eq!(batch.dist_comps, (qs.len() * 60) as u64);
+    }
+
+    #[test]
+    fn batch_beam_is_the_detailed_call_without_accounting() {
+        let points = grid(48);
+        let engine = ShardedEngine::build(
+            &points,
+            Euclidean,
+            1.0,
+            2,
+            &ShardAssignment::SeededRandom { seed: 3 },
+        );
+        let qs = queries(4);
+        let detail = engine.batch_beam_detailed(&qs, 16, 3);
+        let plain = engine.batch_beam(&qs, 16, 3);
+        assert_eq!(plain.dist_comps, detail.dist_comps);
+        assert_eq!(
+            plain.results,
+            detail
+                .outcomes
+                .iter()
+                .map(|o| o.results.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty shards")]
+    fn more_shards_than_points_is_rejected() {
+        let _ = ShardAssignment::SeededRandom { seed: 0 }.assign(3, 4);
+    }
+}

@@ -69,4 +69,6 @@ pub mod truth;
 
 pub use metrics::{mean_distance_ratio, recall_at_k, success_at_eps};
 pub use sweep::{FrontierPoint, FrontierSweep, Score};
-pub use truth::{fingerprint, CacheStatus, GroundTruth, GroundTruthError};
+pub use truth::{
+    fingerprint, fingerprint_sampled, sample_indices, CacheStatus, GroundTruth, GroundTruthError,
+};

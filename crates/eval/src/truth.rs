@@ -43,6 +43,8 @@ use std::path::Path;
 
 use pg_core::SnapshotMetric;
 use pg_metric::{Dataset, Metric};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// The 8-byte magic prefix of every ground-truth cache file.
 pub const GT_MAGIC: [u8; 8] = *b"PGGTSNAP";
@@ -146,6 +148,51 @@ pub fn fingerprint<P: AsRef<[f64]>>(
         }
     }
     h.finish()
+}
+
+/// Fingerprint of a **sampled** ground truth: the full-workload
+/// [`fingerprint`] (over *all* `m` queries, not just the sampled ones)
+/// plus the sample seed and count, behind an explicit `GTSAMPLE` domain
+/// tag. Folding the tag first guarantees a sampled cache and a full-truth
+/// cache for the same workload never share a fingerprint, so one can never
+/// be served in place of the other; folding seed and count makes every
+/// distinct sample of the same query set its own cache key.
+pub fn fingerprint_sampled<P: AsRef<[f64]>>(
+    points: &[P],
+    queries: &[P],
+    metric_code: u32,
+    k: usize,
+    sample_seed: u64,
+    sample_count: usize,
+) -> u64 {
+    let mut h = pg_store::Fnv64::new();
+    h.update(b"GTSAMPLE");
+    h.update(&sample_seed.to_le_bytes());
+    h.update(&(sample_count as u64).to_le_bytes());
+    h.update(&fingerprint(points, queries, metric_code, k).to_le_bytes());
+    h.finish()
+}
+
+/// Draws `count` distinct query indices from `0..m` — a seeded partial
+/// Fisher–Yates shuffle, returned **ascending** so sampled query order is
+/// a stable function of `(m, count, seed)` alone. Requires
+/// `1 <= count <= m`.
+pub fn sample_indices(m: usize, count: usize, seed: u64) -> Vec<usize> {
+    assert!(count >= 1, "a query sample needs at least one query");
+    assert!(
+        count <= m,
+        "cannot sample {count} of {m} queries without replacement"
+    );
+    let mut pool: Vec<usize> = (0..m).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..count {
+        let j = rng.random_range(i..m);
+        pool.swap(i, j);
+    }
+    let mut picked = pool;
+    picked.truncate(count);
+    picked.sort_unstable();
+    picked
 }
 
 /// Exact top-`k` neighbors (ids and distances) of a fixed query set over a
@@ -383,6 +430,67 @@ impl GroundTruth {
         gt.save(&path, fp)?;
         Ok((gt, CacheStatus::Miss))
     }
+
+    /// Exact ground truth for a seeded sample of the query set — the
+    /// million-point escape hatch: at `n = 10^6`, full ground truth for
+    /// thousands of queries costs billions of distance computations, but
+    /// recall estimated on a few hundred sampled queries already has a
+    /// standard error below a percentage point. Returns the truth plus the
+    /// **ascending** sampled indices ([`sample_indices`]) so callers can
+    /// line their own answers up against it.
+    pub fn compute_sampled<P: Sync + Clone, M: Metric<P> + Sync>(
+        data: &Dataset<P, M>,
+        queries: &[P],
+        k: usize,
+        sample_seed: u64,
+        sample_count: usize,
+    ) -> (Self, Vec<usize>) {
+        let picked = sample_indices(queries.len(), sample_count, sample_seed);
+        let sampled: Vec<P> = picked.iter().map(|&i| queries[i].clone()).collect();
+        (GroundTruth::compute(data, &sampled, k), picked)
+    }
+
+    /// [`GroundTruth::compute_or_load`] for a sampled query set: the cache
+    /// file reuses the `PGGTSNAP` format verbatim (with `m` = sample
+    /// count), keyed by [`fingerprint_sampled`] — the sample seed and
+    /// count are folded into the fingerprint, so a cache computed for a
+    /// different sample, a different full query set, or the *unsampled*
+    /// workload is structurally impossible to serve. Same fallback rules
+    /// as the full-truth entry point.
+    pub fn compute_or_load_sampled<P, M>(
+        path: impl AsRef<Path>,
+        data: &Dataset<P, M>,
+        queries: &[P],
+        k: usize,
+        sample_seed: u64,
+        sample_count: usize,
+    ) -> Result<(Self, Vec<usize>, CacheStatus), GroundTruthError>
+    where
+        P: AsRef<[f64]> + Sync + Clone,
+        M: Metric<P> + SnapshotMetric + Sync,
+    {
+        let fp = fingerprint_sampled(
+            data.points(),
+            queries,
+            M::TAG.code(),
+            k,
+            sample_seed,
+            sample_count,
+        );
+        let picked = sample_indices(queries.len(), sample_count, sample_seed);
+        if let Ok(gt) = GroundTruth::load(&path, fp) {
+            return Ok((gt, picked, CacheStatus::Hit));
+        }
+        let sampled: Vec<P> = picked.iter().map(|&i| queries[i].clone()).collect();
+        let gt = GroundTruth::compute(data, &sampled, k);
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        gt.save(&path, fp)?;
+        Ok((gt, picked, CacheStatus::Miss))
+    }
 }
 
 #[cfg(test)]
@@ -532,5 +640,122 @@ mod tests {
     fn compute_rejects_oversized_k() {
         let ds = grid(4);
         let _ = GroundTruth::compute(&ds, &queries(), 5);
+    }
+
+    #[test]
+    fn sample_indices_are_a_deterministic_ascending_subset() {
+        let picked = sample_indices(100, 17, 9);
+        assert_eq!(picked, sample_indices(100, 17, 9), "same seed, same sample");
+        assert_ne!(picked, sample_indices(100, 17, 10), "seed changes sample");
+        assert_eq!(picked.len(), 17);
+        assert!(
+            picked.windows(2).all(|w| w[0] < w[1]),
+            "ascending, distinct"
+        );
+        assert!(picked.iter().all(|&i| i < 100), "in range");
+        // Sampling everything is the identity.
+        assert_eq!(sample_indices(6, 6, 3), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn compute_sampled_is_full_truth_restricted_to_the_sample() {
+        let ds = grid(40);
+        let qs = queries();
+        let full = GroundTruth::compute(&ds, &qs, 4);
+        let (sampled, picked) = GroundTruth::compute_sampled(&ds, &qs, 4, 7, 3);
+        assert_eq!(sampled.queries(), 3);
+        for (row, &q) in picked.iter().enumerate() {
+            assert_eq!(sampled.ids_for(row), full.ids_for(q));
+            assert_eq!(sampled.dists_for(row), full.dists_for(q));
+        }
+    }
+
+    #[test]
+    fn sampled_and_full_fingerprints_never_collide() {
+        let ds = grid(30);
+        let qs = queries();
+        let full = fingerprint(ds.points(), &qs, 0, 3);
+        let sampled = fingerprint_sampled(ds.points(), &qs, 0, 3, 0, qs.len());
+        // Even a sample of *all* queries keys a different cache than the
+        // full truth: the GTSAMPLE domain tag separates them.
+        assert_ne!(full, sampled, "sampled/full domain separation");
+        // Seed and count each key their own cache.
+        assert_ne!(
+            sampled,
+            fingerprint_sampled(ds.points(), &qs, 0, 3, 1, qs.len()),
+            "sample seed"
+        );
+        assert_ne!(
+            sampled,
+            fingerprint_sampled(ds.points(), &qs, 0, 3, 0, qs.len() - 1),
+            "sample count"
+        );
+        // And the full-workload inputs still matter.
+        assert_ne!(
+            sampled,
+            fingerprint_sampled(ds.points(), &qs, 1, 3, 0, qs.len()),
+            "metric code"
+        );
+        assert_ne!(
+            sampled,
+            fingerprint_sampled(ds.points(), &qs[..5], 0, 3, 0, 5),
+            "full query set"
+        );
+    }
+
+    #[test]
+    fn sampled_cache_every_corruption_is_typed() {
+        let ds = grid(30);
+        let qs = queries();
+        let (gt, _) = GroundTruth::compute_sampled(&ds, &qs, 3, 5, 4);
+        let fp = fingerprint_sampled(ds.points(), &qs, 0, 3, 5, 4);
+        let bytes = gt.to_bytes(fp);
+        assert_eq!(GroundTruth::from_bytes(&bytes, fp).unwrap(), gt);
+
+        // Every truncation point fails with a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                GroundTruth::from_bytes(&bytes[..cut], fp).is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
+        // Every payload byte flip is caught by the checksum.
+        for i in 12..bytes.len() - 8 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(matches!(
+                GroundTruth::from_bytes(&bad, fp),
+                Err(GroundTruthError::ChecksumMismatch)
+            ));
+        }
+        // A full-truth reader rejects a sampled cache outright.
+        let full_fp = fingerprint(ds.points(), &qs, 0, 3);
+        assert!(matches!(
+            GroundTruth::from_bytes(&bytes, full_fp),
+            Err(GroundTruthError::FingerprintMismatch)
+        ));
+    }
+
+    #[test]
+    fn compute_or_load_sampled_misses_hits_and_reseeds() {
+        let dir =
+            std::env::temp_dir().join(format!("pg_eval_gt_sampled_test_{}", std::process::id()));
+        let path = dir.join("gt_sampled.pggt");
+        let ds = grid(25);
+        let qs = queries();
+        let (first, idx1, st1) =
+            GroundTruth::compute_or_load_sampled(&path, &ds, &qs, 2, 3, 4).unwrap();
+        assert_eq!(st1, CacheStatus::Miss);
+        let (second, idx2, st2) =
+            GroundTruth::compute_or_load_sampled(&path, &ds, &qs, 2, 3, 4).unwrap();
+        assert_eq!(st2, CacheStatus::Hit);
+        assert_eq!(first, second);
+        assert_eq!(idx1, idx2);
+        // A different sample seed is a different workload: miss + rewrite.
+        let (_, idx3, st3) =
+            GroundTruth::compute_or_load_sampled(&path, &ds, &qs, 2, 4, 4).unwrap();
+        assert_eq!(st3, CacheStatus::Miss);
+        assert_ne!(idx1, idx3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -362,7 +362,7 @@ pub fn check_bench_artifact(path: &str, text: &str) -> Vec<Finding> {
         ),
         None => push(1, "missing numeric `threads`".to_string()),
     }
-    let known = ["kernels", "queries", "suite", "frontiers", "serve"];
+    let known = ["kernels", "queries", "suite", "frontiers", "serve", "shard"];
     if !known.iter().any(|k| root.get(k).is_some()) {
         push(
             1,
@@ -436,6 +436,55 @@ pub fn check_bench_artifact(path: &str, text: &str) -> Vec<Finding> {
                             "serve.hotswap.errors must be 0 (the binary gates on it), found {errors:?}"
                         ),
                     );
+                }
+            }
+        }
+    }
+    if let Some(shard) = root.get("shard") {
+        if !matches!(shard, Value::Obj(_)) {
+            push(
+                1,
+                format!("`shard` must be an object, found {}", shard.type_name()),
+            );
+        } else {
+            match shard.get("parity") {
+                Some(parity @ Value::Obj(_)) => {
+                    if parity.get("failures").and_then(Value::as_num) != Some(0.0) {
+                        push(
+                            1,
+                            "shard.parity.failures must be 0 (exp_shard asserts sharded/unsharded \
+                             bit-equality before any timing)"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => push(1, "shard.parity must be an object".to_string()),
+            }
+            for sec in ["build", "search"] {
+                match shard.get(sec) {
+                    Some(Value::Arr(rows)) => {
+                        for (j, row) in rows.iter().enumerate() {
+                            match row.get("recall").and_then(Value::as_num) {
+                                Some(v) if (0.0..=1.0).contains(&v) => {}
+                                Some(v) => push(
+                                    1,
+                                    format!(
+                                        "shard.{sec}[{j}].recall = {v} is outside [0, 1] — a score cannot exceed 1"
+                                    ),
+                                ),
+                                None => push(
+                                    1,
+                                    format!("shard.{sec}[{j}].recall must be a number"),
+                                ),
+                            }
+                            for key in ["shards", "n"] {
+                                if row.get(key).and_then(Value::as_num).is_none() {
+                                    push(1, format!("shard.{sec}[{j}].{key} must be a number"));
+                                }
+                            }
+                        }
+                    }
+                    _ => push(1, format!("shard.{sec} must be an array")),
                 }
             }
         }
@@ -657,5 +706,47 @@ impl ErrorCode {
         let findings = check_bench_artifact("BENCH_x.json", artifact);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("hotswap.errors"));
+    }
+
+    const SHARD_ARTIFACT: &str = r#"{
+  "schema_version": 1, "label": "pr9", "smoke": false, "threads": 1,
+  "shard": {
+    "parity": {"n": 1500, "shard_counts": [1, 2, 3, 8], "thread_counts": [1, 2, 1], "failures": 0},
+    "build": [{"shards": 8, "n": 1000000, "dist_comps": 9, "seconds": 1.5,
+               "ef": 64, "k": 10, "recall": 0.97}],
+    "search": [{"shards": 8, "n": 1000000, "ef": 64, "k": 10,
+                "sampled_queries": 100, "recall": 0.97, "dist_comps": 812.0, "qps": 900.0}]
+  }
+}"#;
+
+    #[test]
+    fn good_shard_artifact_passes() {
+        let findings = check_bench_artifact("BENCH_pr9.json", SHARD_ARTIFACT);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn shard_parity_failures_and_bad_scores_fail() {
+        // A recorded parity failure is the one thing that must never ship.
+        let poisoned = SHARD_ARTIFACT.replace("\"failures\": 0", "\"failures\": 1");
+        let findings = check_bench_artifact("BENCH_pr9.json", &poisoned);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("parity.failures"));
+
+        // Hand-edited recall above 1 fails in both row sections.
+        let poisoned = SHARD_ARTIFACT.replace("\"recall\": 0.97", "\"recall\": 1.97");
+        let findings = check_bench_artifact("BENCH_pr9.json", &poisoned);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.message.contains("outside [0, 1]")));
+
+        // A shard section without its parity gate is malformed.
+        let gateless = SHARD_ARTIFACT.replace("\"parity\"", "\"prty\"");
+        let findings = check_bench_artifact("BENCH_pr9.json", &gateless);
+        assert!(
+            findings.iter().any(|f| f.message.contains("shard.parity")),
+            "{findings:?}"
+        );
     }
 }

@@ -21,7 +21,11 @@ pub const NO_PANIC_PATHS: &[&str] = &[
 /// Hot-path search modules that must compare in surrogate space
 /// (`surrogate-discipline` applies): raw `.dist(` calls here would
 /// silently undo the PR 3 squared-space optimization.
-pub const SURROGATE_PATHS: &[&str] = &["crates/core/src/search.rs", "crates/core/src/engine.rs"];
+pub const SURROGATE_PATHS: &[&str] = &[
+    "crates/core/src/search.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/sharded.rs",
+];
 
 /// Crates exempt from `no-nondeterminism`: the benchmark harness and the
 /// criterion stand-in exist to measure wall-clock time.

@@ -87,25 +87,38 @@ fn wire_freeze_catches_a_tampered_frame_kind_against_the_committed_lock() {
 }
 
 #[test]
-fn the_committed_lock_freezes_all_twenty_one_constants() {
+fn the_committed_lock_freezes_every_wire_constant() {
     let root = repo_root();
     let read = |rel: &str| fs::read_to_string(root.join(rel)).expect("source exists");
     let protocol = SourceFile::parse(workspace::WIRE_PROTOCOL, &read(workspace::WIRE_PROTOCOL));
     let error = SourceFile::parse(workspace::WIRE_ERROR, &read(workspace::WIRE_ERROR));
     let consts = manifest_rules::extract_wire_consts(&protocol, &error);
-    let kinds = consts.iter().filter(|c| c.kind == "frame-kind").count();
-    let codes = consts.iter().filter(|c| c.kind == "error-code").count();
-    let versions = consts
-        .iter()
-        .filter(|c| c.kind == "protocol-version")
-        .count();
-    assert_eq!((versions, kinds, codes), (1, 9, 11), "{consts:?}");
+
+    // The expected population comes from the committed lock file itself —
+    // not from counts hardcoded here, which silently went stale the moment
+    // anyone appended a wire constant. The lock must parse finding-free…
+    let lock_text = read(workspace::WIRE_LOCK);
+    let (locked, problems) = manifest_rules::parse_wire_lock(&lock_text, workspace::WIRE_LOCK);
+    assert!(problems.is_empty(), "{problems:?}");
+
+    // …and the sources must declare exactly the locked population, kind by
+    // kind — tamper detection without magic numbers.
+    let count = |set: &[manifest_rules::WireConst], kind: &str| {
+        set.iter().filter(|c| c.kind == kind).count()
+    };
+    for kind in ["protocol-version", "frame-kind", "error-code"] {
+        let in_lock = count(&locked, kind);
+        assert!(in_lock >= 1, "lock holds no {kind} constants");
+        assert_eq!(
+            count(&consts, kind),
+            in_lock,
+            "{kind}: sources and committed lock disagree\n{consts:?}"
+        );
+    }
+    assert_eq!(consts.len(), locked.len(), "{consts:?}");
     // And the committed manifest is exactly the regenerated one, so
     // `--write-wire-lock` is idempotent on a clean tree.
-    assert_eq!(
-        read(workspace::WIRE_LOCK),
-        manifest_rules::render_wire_lock(&consts)
-    );
+    assert_eq!(lock_text, manifest_rules::render_wire_lock(&consts));
 }
 
 /// A scratch directory under the test binary's target dir (no tempfile

@@ -194,6 +194,10 @@ pub enum SectionTag {
     Graph,
     /// `PNTS`: the flat coordinate buffer.
     Points,
+    /// `MANI`: the single checksummed payload of a [`ShardManifest`] file
+    /// (not a section of `PGIXSNAP` snapshots — named here so manifest
+    /// corruption reports through the same [`SnapshotError::ChecksumMismatch`]).
+    Manifest,
 }
 
 impl SectionTag {
@@ -203,6 +207,7 @@ impl SectionTag {
             SectionTag::Meta => *b"META",
             SectionTag::Graph => *b"GRPH",
             SectionTag::Points => *b"PNTS",
+            SectionTag::Manifest => *b"MANI",
         }
     }
 }
@@ -895,6 +900,262 @@ fn decode_points(payload: &[u8], meta: &IndexMeta) -> Result<Vec<f64>, SnapshotE
     Ok(coords)
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-index manifests
+// ---------------------------------------------------------------------------
+
+/// The 8-byte magic prefix of every shard-manifest file.
+pub const SHARD_MANIFEST_MAGIC: [u8; 8] = *b"PGSHMANI";
+
+/// The shard-manifest format version this crate reads and writes
+/// (versioning rules identical to [`FORMAT_VERSION`]).
+pub const SHARD_MANIFEST_VERSION: u32 = 1;
+
+/// Conventional file name of the manifest inside a sharded-snapshot
+/// directory (the per-shard snapshot files sit next to it, named by
+/// [`shard_file_name`]).
+pub const SHARD_MANIFEST_FILE: &str = "manifest.pgsm";
+
+/// Conventional file name of shard `i`'s snapshot inside a sharded-snapshot
+/// directory: `shard_0000.pgix`, `shard_0001.pgix`, …
+pub fn shard_file_name(i: usize) -> String {
+    format!("shard_{i:04}.pgix")
+}
+
+/// How a sharded index splits one global id space `0..n` across `S`
+/// per-shard sub-indexes — the raw, dependency-free half of a sharded
+/// snapshot (the typed engine wiring lives in `pg_core::sharded`).
+///
+/// The invariant this type exists to pin: the per-shard global-id lists are
+/// **strictly ascending** and together form an **exact partition** of
+/// `0..n` — every id appears in exactly one shard, no shard is empty.
+/// Ascending order is load-bearing, not cosmetic: a shard's local id `j`
+/// maps to `ids[j]`, so ascending lists make local id order agree with
+/// global id order, which is what lets a surrogate-space merge of per-shard
+/// results reproduce the unsharded `(surrogate, global id)` tie-break
+/// bit-for-bit. [`ShardManifest::new`] and [`ShardManifest::from_bytes`]
+/// both enforce the full invariant, so no constructed or loaded manifest
+/// can violate it.
+///
+/// # File format (version 1)
+///
+/// Little-endian, following the [`GroundTruth`-cache] conventions: magic
+/// [`SHARD_MANIFEST_MAGIC`], `format_version` (u32), then a checksummed
+/// payload — `n` (u64), shard count (u64), and per shard its length (u64)
+/// followed by that many ids (u32 each) — terminated by the FNV-1a 64
+/// [`checksum`] of the payload (bytes 12 up to the checksum itself).
+/// Reads never panic and never return a partially-validated manifest.
+///
+/// [`GroundTruth`-cache]: crate::checksum
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    n: u64,
+    shards: Vec<Vec<u32>>,
+}
+
+impl ShardManifest {
+    /// Builds a manifest after checking the full partition invariant:
+    /// at least one shard, every shard non-empty and strictly ascending,
+    /// every id `< n`, and every id in `0..n` present exactly once.
+    pub fn new(n: u64, shards: Vec<Vec<u32>>) -> Result<Self, SnapshotError> {
+        let m = ShardManifest { n, shards };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Number of points `n` in the global id space.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard global-id lists, each strictly ascending; entry `s`
+    /// maps shard `s`'s local ids to global ids (`ids[local] = global`).
+    pub fn shards(&self) -> &[Vec<u32>] {
+        &self.shards
+    }
+
+    /// Consumes the manifest, handing back the per-shard id lists.
+    pub fn into_shards(self) -> Vec<Vec<u32>> {
+        self.shards
+    }
+
+    fn validate(&self) -> Result<(), SnapshotError> {
+        if self.shards.is_empty() {
+            return Err(invalid("manifest holds zero shards"));
+        }
+        if self.n == 0 {
+            return Err(invalid("manifest covers zero points"));
+        }
+        let n: usize = self
+            .n
+            .try_into()
+            .map_err(|_| invalid("n exceeds addressable memory"))?;
+        let mut seen = vec![false; n];
+        let mut total: u64 = 0;
+        for (s, ids) in self.shards.iter().enumerate() {
+            if ids.is_empty() {
+                return Err(invalid(format!("shard {s} is empty")));
+            }
+            if ids.windows(2).any(|w| match w {
+                [a, b] => a >= b,
+                _ => false,
+            }) {
+                return Err(invalid(format!("shard {s} ids are not strictly ascending")));
+            }
+            for &id in ids {
+                match seen.get_mut(id as usize) {
+                    Some(slot) if !*slot => *slot = true,
+                    Some(_) => {
+                        return Err(invalid(format!("id {id} appears in more than one shard")))
+                    }
+                    None => {
+                        return Err(invalid(format!(
+                            "shard {s} id {id} out of range (n = {})",
+                            self.n
+                        )))
+                    }
+                }
+            }
+            total += ids.len() as u64;
+        }
+        if total != self.n {
+            return Err(invalid(format!(
+                "shards hold {total} ids, the manifest covers n = {}",
+                self.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes into the version-1 byte layout (see the type docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let cells: usize = self.shards.iter().map(|s| s.len()).sum();
+        let mut payload = Vec::with_capacity(16 + self.shards.len() * 8 + cells * 4);
+        push_u64(&mut payload, self.n);
+        push_u64(&mut payload, self.shards.len() as u64);
+        for ids in &self.shards {
+            push_u64(&mut payload, ids.len() as u64);
+            for &id in ids {
+                push_u32(&mut payload, id);
+            }
+        }
+        let mut out = Vec::with_capacity(8 + 4 + payload.len() + 8);
+        out.extend_from_slice(&SHARD_MANIFEST_MAGIC);
+        push_u32(&mut out, SHARD_MANIFEST_VERSION);
+        let sum = checksum(&payload);
+        out.append(&mut payload);
+        push_u64(&mut out, sum);
+        out
+    }
+
+    /// Parses the version-1 byte layout. Never panics; a manifest is only
+    /// returned after the magic, version, checksum, and the full partition
+    /// invariant ([`ShardManifest::new`]) all check out.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let magic_len = bytes.len().min(8);
+        let magic_prefix = bytes.get(..magic_len).unwrap_or(bytes);
+        if magic_prefix != SHARD_MANIFEST_MAGIC.get(..magic_len).unwrap_or_default() {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut cur = Cursor { bytes, pos: 0 };
+        cur.take(8, "manifest magic")?;
+        let version = cur.u32("manifest version")?;
+        if version != SHARD_MANIFEST_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let payload_start = cur.pos;
+        if bytes.len() < payload_start + 8 {
+            return Err(SnapshotError::Truncated {
+                context: "manifest checksum",
+            });
+        }
+        let payload_end = bytes.len() - 8;
+        let payload = bytes
+            .get(payload_start..payload_end)
+            .ok_or(SnapshotError::Truncated {
+                context: "manifest payload",
+            })?;
+        let stored = bytes
+            .get(payload_end..)
+            .and_then(|t| <[u8; 8]>::try_from(t).ok())
+            .map(u64::from_le_bytes)
+            .ok_or(SnapshotError::Truncated {
+                context: "manifest checksum",
+            })?;
+        if checksum(payload) != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: SectionTag::Manifest,
+            });
+        }
+        let mut cur = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let n = cur.u64("manifest n")?;
+        let shard_count = cur.u64("manifest shard count")?;
+        let shard_count: usize = shard_count
+            .try_into()
+            .map_err(|_| invalid("shard count exceeds addressable memory"))?;
+        // A shard frame is at least 12 bytes (len + one id); reject an
+        // impossible count before allocating for it.
+        if shard_count > payload.len() / 12 {
+            return Err(invalid(format!(
+                "shard count {shard_count} cannot fit in a {}-byte payload",
+                payload.len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let len = cur.u64("shard length")?;
+            let len: usize = len
+                .try_into()
+                .map_err(|_| invalid("shard length exceeds addressable memory"))?;
+            if len > (payload.len() - cur.pos) / 4 {
+                return Err(SnapshotError::Truncated {
+                    context: "shard ids",
+                });
+            }
+            let mut ids = Vec::with_capacity(len);
+            for _ in 0..len {
+                ids.push(cur.u32("shard id")?);
+            }
+            shards.push(ids);
+        }
+        if cur.pos != payload.len() {
+            return Err(invalid(format!(
+                "{} trailing bytes after the last shard",
+                payload.len() - cur.pos
+            )));
+        }
+        ShardManifest::new(n, shards)
+    }
+
+    /// Writes the manifest to `path` atomically and durably — the same
+    /// temp-file + `sync_all` + rename sequence as [`Snapshot::save`], so a
+    /// reader never observes a torn manifest.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let bytes = self.to_bytes();
+        let path = path.as_ref();
+        let tmp = tmp_sibling(path);
+        let result = write_atomically(&tmp, path, &bytes);
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        Ok(result?)
+    }
+
+    /// Loads and validates a manifest from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        ShardManifest::from_bytes(&bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,5 +1303,101 @@ mod tests {
             snap.in_memory_bytes(),
             4 * usize_bytes + 4 * 4 + 6 * 8 + 3 * 24
         );
+    }
+
+    fn sample_manifest() -> ShardManifest {
+        ShardManifest::new(7, vec![vec![0, 3, 6], vec![1, 4], vec![2, 5]]).unwrap()
+    }
+
+    #[test]
+    fn shard_manifest_round_trips_and_reports_shape() {
+        let m = sample_manifest();
+        assert_eq!(m.n(), 7);
+        assert_eq!(m.shard_count(), 3);
+        assert_eq!(m.shards()[1], vec![1, 4]);
+        let bytes = m.to_bytes();
+        assert_eq!(ShardManifest::from_bytes(&bytes).unwrap(), m);
+        assert_eq!(m.clone().into_shards(), m.shards().to_vec());
+    }
+
+    #[test]
+    fn shard_manifest_round_trips_through_a_file() {
+        let m = sample_manifest();
+        let path =
+            std::env::temp_dir().join(format!("pg_store_manifest_{}.pgsm", std::process::id()));
+        m.save(&path).unwrap();
+        assert_eq!(ShardManifest::load(&path).unwrap(), m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shard_manifest_rejects_every_partition_violation() {
+        // Duplicated id.
+        assert!(ShardManifest::new(4, vec![vec![0, 1], vec![1, 2, 3]]).is_err());
+        // Missing id (3 absent).
+        assert!(ShardManifest::new(4, vec![vec![0, 1], vec![2]]).is_err());
+        // Out-of-range id.
+        assert!(ShardManifest::new(3, vec![vec![0, 1], vec![3]]).is_err());
+        // Empty shard.
+        assert!(ShardManifest::new(2, vec![vec![0, 1], vec![]]).is_err());
+        // Not strictly ascending.
+        assert!(ShardManifest::new(3, vec![vec![1, 0], vec![2]]).is_err());
+        // Zero shards / zero points.
+        assert!(ShardManifest::new(1, vec![]).is_err());
+        assert!(ShardManifest::new(0, vec![vec![]]).is_err());
+        // One shard holding everything is fine.
+        assert!(ShardManifest::new(3, vec![vec![0, 1, 2]]).is_ok());
+    }
+
+    #[test]
+    fn shard_manifest_every_corruption_is_typed() {
+        let m = sample_manifest();
+        let bytes = m.to_bytes();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ShardManifest::from_bytes(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[8..12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            ShardManifest::from_bytes(&bad),
+            Err(SnapshotError::UnsupportedVersion { found: 9 })
+        ));
+        // Every truncation point fails, never panics.
+        for cut in 0..bytes.len() {
+            assert!(
+                ShardManifest::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
+        // Every payload byte flip is caught by the checksum.
+        for i in 12..bytes.len() - 8 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(matches!(
+                ShardManifest::from_bytes(&bad),
+                Err(SnapshotError::ChecksumMismatch {
+                    section: SectionTag::Manifest
+                })
+            ));
+        }
+        // Trailing garbage after a valid payload fails the checksum frame.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&[0u8; 4]);
+        assert!(ShardManifest::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn shard_file_names_are_stable_and_sorted() {
+        assert_eq!(shard_file_name(0), "shard_0000.pgix");
+        assert_eq!(shard_file_name(12), "shard_0012.pgix");
+        let names: Vec<String> = (0..20).map(shard_file_name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 }
