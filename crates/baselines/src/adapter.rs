@@ -56,8 +56,8 @@
 //! assert!(approx.results[0].1 >= exact.results[0].1);
 //! ```
 
-use pg_core::{beam_search_detailed, BeamOutcome, Graph, QueryEngine};
-use pg_metric::{Dataset, Metric};
+use pg_core::{beam_search_detailed, beam_search_quantized, BeamOutcome, Graph, QueryEngine};
+use pg_metric::{CompactPoints, Dataset, Metric, QuantKind};
 
 /// One batched top-`k` search interface over every index family — see the
 /// [module docs](self) for the adapter map and the uniform `ef` semantics.
@@ -183,6 +183,95 @@ impl<P: Sync, M: Metric<P> + Sync> SweepSearch<P, M> for EngineIndex<P, M> {
         let starts = vec![self.entry; queries.len()];
         self.engine
             .batch_beam_detailed(&starts, queries, ef, k)
+            .outcomes
+    }
+}
+
+/// Adapter that serves **quantized** search through a pre-built
+/// [`QueryEngine`] plus a [`CompactPoints`] store: beam navigation runs on
+/// the compact surrogate (`f32` or SQ8), then the whole candidate set is
+/// re-ranked with exact `f64` distances before truncating to `k` — the
+/// re-rank contract of `pg_metric::quant`. Reported results are therefore
+/// in the same exact `(dist, id)` order every other adapter reports, so
+/// frontiers for f64/f32/SQ8 storage are directly comparable on one plot.
+///
+/// Per-query `dist_comps` counts quantized surrogate evaluations **plus**
+/// one exact evaluation per re-ranked candidate — the true cost of the
+/// two-phase search, never just the cheap phase.
+#[derive(Debug, Clone)]
+pub struct QuantizedEngineIndex<P, M> {
+    engine: QueryEngine<P, M>,
+    compact: CompactPoints,
+    entry: u32,
+}
+
+impl<P: Sync + AsRef<[f64]>, M: Metric<P> + Sync> QuantizedEngineIndex<P, M> {
+    /// Quantizes the engine's own points at `kind` and wraps both with
+    /// entry vertex `0`. Fails (with a description) only if the points
+    /// cannot be encoded — empty set, ragged rows, non-finite coordinates.
+    pub fn new(engine: QueryEngine<P, M>, kind: QuantKind) -> Result<Self, String> {
+        let compact = engine.quantize(kind)?;
+        Ok(QuantizedEngineIndex {
+            engine,
+            compact,
+            entry: 0,
+        })
+    }
+
+    /// Wraps an engine with an already-built compact store (e.g. one loaded
+    /// from a version-2 snapshot). The store must describe exactly the
+    /// engine's points.
+    pub fn from_parts(engine: QueryEngine<P, M>, compact: CompactPoints) -> Self {
+        QuantizedEngineIndex {
+            engine,
+            compact,
+            entry: 0,
+        }
+    }
+
+    /// Overrides the entry vertex.
+    pub fn with_entry(mut self, entry: u32) -> Self {
+        self.entry = entry;
+        self
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &QueryEngine<P, M> {
+        &self.engine
+    }
+
+    /// The compact store navigation runs on.
+    pub fn compact(&self) -> &CompactPoints {
+        &self.compact
+    }
+}
+
+impl<P: Sync + AsRef<[f64]>, M: Metric<P> + Sync> SweepSearch<P, M> for QuantizedEngineIndex<P, M> {
+    fn search_one(&self, data: &Dataset<P, M>, q: &P, ef: usize, k: usize) -> BeamOutcome {
+        beam_search_quantized(
+            self.engine.graph(),
+            data,
+            &self.compact,
+            self.entry,
+            q,
+            ef,
+            k,
+        )
+    }
+
+    /// [`QueryEngine::batch_beam_quantized_detailed`] over the pre-built
+    /// engine and store — the quantized analogue of [`EngineIndex`]'s
+    /// batch path, with zero per-call setup.
+    fn search_batch(
+        &self,
+        _data: &Dataset<P, M>,
+        queries: &[P],
+        ef: usize,
+        k: usize,
+    ) -> Vec<BeamOutcome> {
+        let starts = vec![self.entry; queries.len()];
+        self.engine
+            .batch_beam_quantized_detailed(&self.compact, &starts, queries, ef, k)
             .outcomes
     }
 }
@@ -321,6 +410,56 @@ mod tests {
             assert_eq!(out.dist_comps, comps);
             assert!(out.expansions >= 1);
             assert!(out.expansions <= out.dist_comps);
+        }
+    }
+
+    #[test]
+    fn quantized_adapter_at_full_width_matches_the_exact_engine_adapter() {
+        // At ef = n the candidate set is the whole (connected) graph, and
+        // the exact re-rank makes the quantized adapter's output identical
+        // to full-precision search — for both representations.
+        let ds = random_dataset(130, 11);
+        let pg = GNet::build(&ds, 1.0);
+        let exact = EngineIndex::new(QueryEngine::new(pg.graph.clone(), ds.clone()));
+        let queries = random_queries(10, 12);
+        let n = ds.len();
+        let want = exact.search_batch(&ds, &queries, n, 5);
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            let quant =
+                QuantizedEngineIndex::new(QueryEngine::new(pg.graph.clone(), ds.clone()), kind)
+                    .unwrap();
+            let got = quant.search_batch(&ds, &queries, n, 5);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.results, w.results, "{} diverged", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_adapter_batch_equals_one_by_one_for_every_thread_count() {
+        let ds = random_dataset(180, 13);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(20, 14);
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            let solo: Vec<BeamOutcome> = {
+                let index =
+                    QuantizedEngineIndex::new(QueryEngine::new(pg.graph.clone(), ds.clone()), kind)
+                        .unwrap()
+                        .with_entry(2);
+                queries
+                    .iter()
+                    .map(|q| index.search_one(&ds, q, 12, 3))
+                    .collect()
+            };
+            for threads in [1, 2, 4] {
+                let batch = rayon::with_threads(threads, || {
+                    QuantizedEngineIndex::new(QueryEngine::new(pg.graph.clone(), ds.clone()), kind)
+                        .unwrap()
+                        .with_entry(2)
+                        .search_batch(&ds, &queries, 12, 3)
+                });
+                assert_eq!(batch, solo, "{} diverged at {threads} threads", kind.name());
+            }
         }
     }
 

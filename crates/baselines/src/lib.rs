@@ -58,7 +58,7 @@ pub(crate) fn label_dists<P: Sync, M: Metric<P> + Sync>(
     }
 }
 
-pub use adapter::{BruteIndex, EngineIndex, GraphIndex, SweepSearch};
+pub use adapter::{BruteIndex, EngineIndex, GraphIndex, QuantizedEngineIndex, SweepSearch};
 pub use brute::brute_force_nn;
 pub use diskann::{slow_preprocessing, vamana, VamanaParams};
 pub use hnsw::{Hnsw, HnswParams};

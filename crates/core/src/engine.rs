@@ -76,10 +76,12 @@
 //! [`FlatPoints`]: pg_metric::FlatPoints
 //! [`FlatRow`]: pg_metric::FlatRow
 
-use pg_metric::{Dataset, Metric};
+use pg_metric::{CompactPoints, Dataset, Metric, QuantKind, Quantized};
 
 use crate::graph::Graph;
-use crate::search::{beam_search_detailed, query, BeamOutcome, GreedyOutcome};
+use crate::search::{
+    beam_search_detailed, beam_search_quantized, query, BeamOutcome, GreedyOutcome,
+};
 
 /// The result of a [`QueryEngine::batch_greedy`] / [`QueryEngine::batch_query`]
 /// call: per-query outcomes in input order plus the aggregated distance count.
@@ -251,6 +253,68 @@ impl<P: Sync, M: Metric<P> + Sync> QueryEngine<P, M> {
     }
 }
 
+impl<P: Sync + AsRef<[f64]>, M: Metric<P> + Sync> QueryEngine<P, M> {
+    /// Encodes this engine's points into the compact representation `kind`
+    /// (see `pg_metric::quant`). The engine keeps its full-precision points
+    /// — the compact store rides alongside for the quantized search path,
+    /// and the exact re-rank needs the originals anyway. Fails only on
+    /// malformed data (empty set, non-finite coordinates).
+    pub fn quantize(&self, kind: QuantKind) -> Result<CompactPoints, String> {
+        let rows: Vec<&[f64]> = self.data.points().iter().map(|p| p.as_ref()).collect();
+        CompactPoints::from_rows(kind, &rows)
+    }
+
+    /// Runs [`beam_search_quantized`]
+    /// for every `(start, query)` pair, sharded across the pool: the walk
+    /// navigates in `compact`'s surrogate space and every candidate set is
+    /// re-ranked with exact `f64` distances before truncation. Outcome `i`
+    /// is exactly the sequential call — deterministic at every thread count
+    /// like all `batch_*` methods.
+    ///
+    /// # Panics
+    /// If `compact` does not describe exactly this engine's points (length
+    /// mismatch), or `starts.len() != queries.len()`.
+    pub fn batch_beam_quantized_detailed<C: Quantized + Sync>(
+        &self,
+        compact: &C,
+        starts: &[u32],
+        queries: &[P],
+        ef: usize,
+        k: usize,
+    ) -> BatchBeamDetail {
+        assert_eq!(
+            starts.len(),
+            queries.len(),
+            "one start vertex per query required"
+        );
+        let outcomes = rayon::par_map_indexed_with(self.threads, queries, |i, q| {
+            beam_search_quantized(&self.graph, &self.data, compact, starts[i], q, ef, k)
+        });
+        let dist_comps = outcomes.iter().map(|o| o.dist_comps).sum();
+        BatchBeamDetail {
+            outcomes,
+            dist_comps,
+        }
+    }
+
+    /// [`QueryEngine::batch_beam_quantized_detailed`] without the per-query
+    /// accounting — the quantized counterpart of [`QueryEngine::batch_beam`].
+    pub fn batch_beam_quantized<C: Quantized + Sync>(
+        &self,
+        compact: &C,
+        starts: &[u32],
+        queries: &[P],
+        ef: usize,
+        k: usize,
+    ) -> BatchBeamOutcome {
+        let detail = self.batch_beam_quantized_detailed(compact, starts, queries, ef, k);
+        BatchBeamOutcome {
+            results: detail.outcomes.into_iter().map(|o| o.results).collect(),
+            dist_comps: detail.dist_comps,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +443,54 @@ mod tests {
         let batch = engine.batch_greedy(&starts, &queries);
         // The shared Arc<AtomicU64> collects every shard's evaluations.
         assert_eq!(engine.data().metric().count(), batch.dist_comps);
+    }
+
+    #[test]
+    fn batch_beam_quantized_matches_sequential_for_every_thread_count() {
+        use crate::search::beam_search_quantized;
+        let ds = random_dataset(150, 21);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(20, 22);
+        let starts: Vec<u32> = (0..20).map(|i| (i * 11) % 150).collect();
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            let base = QueryEngine::new(pg.graph.clone(), ds.clone());
+            let compact = base.quantize(kind).unwrap();
+            let sequential: Vec<BeamOutcome> = starts
+                .iter()
+                .zip(queries.iter())
+                .map(|(&s, q)| beam_search_quantized(&pg.graph, &ds, &compact, s, q, 10, 3))
+                .collect();
+            for threads in [1, 2, 5] {
+                let engine = base.clone().with_threads(threads);
+                let detail =
+                    engine.batch_beam_quantized_detailed(&compact, &starts, &queries, 10, 3);
+                assert_eq!(detail.outcomes, sequential, "diverged at {threads} threads");
+                assert_eq!(
+                    detail.dist_comps,
+                    sequential.iter().map(|o| o.dist_comps).sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batch_at_full_width_equals_the_exact_batch() {
+        let n = 120;
+        let ds = random_dataset(n, 23);
+        let pg = GNet::build(&ds, 1.0);
+        let queries = random_queries(15, 24);
+        let starts = vec![0u32; 15];
+        let engine = QueryEngine::new(pg.graph.clone(), ds.clone()).with_threads(3);
+        let exact = engine.batch_beam_detailed(&starts, &queries, n, 5);
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            let compact = engine.quantize(kind).unwrap();
+            let quant = engine.batch_beam_quantized_detailed(&compact, &starts, &queries, n, 5);
+            // At ef = n every candidate set contains the exact top-k, so the
+            // re-ranked results are bit-identical to the exact path.
+            for (e, q) in exact.outcomes.iter().zip(quant.outcomes.iter()) {
+                assert_eq!(e.results, q.results);
+            }
+        }
     }
 
     #[test]

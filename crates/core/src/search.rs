@@ -1,7 +1,7 @@
 //! Routing over proximity graphs: the `greedy` procedure of Section 1.1,
 //! its budgeted `query` wrapper, and beam search as a practical extension.
 
-use pg_metric::{Dataset, Metric};
+use pg_metric::{Dataset, Metric, Quantized};
 
 use crate::graph::Graph;
 
@@ -320,6 +320,178 @@ pub fn beam_search_surrogate<P, M: Metric<P>>(
     }
 }
 
+/// The result of one [`beam_search_quantized_surrogate`] call. The walk ran
+/// in the **quantized** surrogate space, but `results` carries **exact**
+/// `f64` surrogates: every gathered candidate was re-ranked against the
+/// full-precision points before truncation (the re-rank contract of
+/// `pg_metric::quant`). The list is therefore in the same merge-ready
+/// `(exact surrogate, id)` order as [`BeamSurrogate`], and a sharded merge
+/// can consume either interchangeably.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantBeamSurrogate {
+    /// Up to `k` results as `(id, exact surrogate)`, ascending by surrogate
+    /// with ties broken by id — identical ordering semantics to
+    /// [`BeamSurrogate::results`].
+    pub results: Vec<(u32, f64)>,
+    /// Size of the candidate set that was re-ranked (`<= ef`; smaller only
+    /// when fewer vertices are reachable). Whenever the exact top-`k` is
+    /// among these candidates, `results` **equals** the exact top-`k`.
+    pub candidates: usize,
+    /// Distance computations: quantized surrogate evaluations during the
+    /// walk **plus** one exact evaluation per re-ranked candidate. Counting
+    /// both keeps quantized frontier rows honest — the re-rank is not free.
+    pub dist_comps: u64,
+    /// Number of vertices expanded (see [`BeamOutcome::expansions`]).
+    pub expansions: u64,
+}
+
+/// Beam search navigating in a compact representation with an exact `f64`
+/// re-rank before truncation: the quantized counterpart of
+/// [`beam_search_surrogate`].
+///
+/// The walk is the same best-first loop, but every heap/cutoff comparison
+/// uses `compact.surrogate(...)` — the approximate squared distance on the
+/// quantized codes — so the hot loop streams 4 bytes (`pg_metric::F32Points`)
+/// or 1 byte (`pg_metric::Sq8Points`) per coordinate instead of 8. When the
+/// walk
+/// finishes, the **entire** `ef`-candidate set (not just the top `k` by
+/// quantized order) is re-scored with exact surrogates from `data`, sorted
+/// by `(exact surrogate, id)`, and only then truncated to `k`. Quantization
+/// can thus only affect which candidates are gathered, never their reported
+/// order or values.
+///
+/// # Panics
+/// If `compact` does not describe exactly the points of `data` (length
+/// mismatch), or `ef == 0`.
+pub fn beam_search_quantized_surrogate<P, M, C>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    compact: &C,
+    p_start: u32,
+    q: &P,
+    ef: usize,
+    k: usize,
+) -> QuantBeamSurrogate
+where
+    P: AsRef<[f64]>,
+    M: Metric<P>,
+    C: Quantized + ?Sized,
+{
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Cand(f64, u32);
+    impl Eq for Cand {}
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+
+    assert!(ef >= 1);
+    assert_eq!(
+        compact.len(),
+        data.len(),
+        "compact store and dataset must describe the same points"
+    );
+    let pq = compact.prepare(q.as_ref());
+    let mut comps: u64 = 0;
+    let mut expansions: u64 = 0;
+    let mut visited = vec![false; data.len()];
+    visited[p_start as usize] = true;
+    comps += 1;
+    let d0 = compact.surrogate(p_start as usize, &pq);
+
+    let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+    let mut results: BinaryHeap<Cand> = BinaryHeap::new();
+    frontier.push(Reverse(Cand(d0, p_start)));
+    results.push(Cand(d0, p_start));
+    let mut worst = d0;
+
+    while let Some(Reverse(Cand(d, v))) = frontier.pop() {
+        if results.len() >= ef && d > worst {
+            break;
+        }
+        expansions += 1;
+        for &nb in graph.neighbors(v) {
+            if visited[nb as usize] {
+                continue;
+            }
+            visited[nb as usize] = true;
+            comps += 1;
+            let dn = compact.surrogate(nb as usize, &pq);
+            if results.len() < ef || dn < worst {
+                frontier.push(Reverse(Cand(dn, nb)));
+                results.push(Cand(dn, nb));
+                if results.len() > ef {
+                    results.pop();
+                }
+                worst = results.peek().map(|c| c.0).unwrap_or(f64::INFINITY);
+            }
+        }
+    }
+
+    // Exact re-rank of the full candidate set: one full-precision surrogate
+    // per candidate, counted like any other distance computation.
+    let candidates = results.len();
+    let mut out: Vec<(u32, f64)> = results
+        .into_iter()
+        .map(|Cand(_, v)| {
+            comps += 1;
+            (v, data.surrogate_to(v as usize, q))
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    QuantBeamSurrogate {
+        results: out,
+        candidates,
+        dist_comps: comps,
+        expansions,
+    }
+}
+
+/// [`beam_search_quantized_surrogate`] with the exact surrogates mapped to
+/// true distances: the quantized counterpart of [`beam_search_detailed`],
+/// returning the same [`BeamOutcome`] shape so scoring layers and adapters
+/// consume either path uniformly. The re-ranked `candidates` count is
+/// dropped by this wrapper.
+pub fn beam_search_quantized<P, M, C>(
+    graph: &Graph,
+    data: &Dataset<P, M>,
+    compact: &C,
+    p_start: u32,
+    q: &P,
+    ef: usize,
+    k: usize,
+) -> BeamOutcome
+where
+    P: AsRef<[f64]>,
+    M: Metric<P>,
+    C: Quantized + ?Sized,
+{
+    let QuantBeamSurrogate {
+        mut results,
+        dist_comps,
+        expansions,
+        ..
+    } = beam_search_quantized_surrogate(graph, data, compact, p_start, q, ef, k);
+    for e in &mut results {
+        e.1 = data.dist_from_surrogate(e.1);
+    }
+    BeamOutcome {
+        results,
+        dist_comps,
+        expansions,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,5 +756,46 @@ mod tests {
         // ef=1 beam and greedy both converge to the same local optimum on a
         // path graph.
         assert_eq!(res[0].0, out.result);
+    }
+
+    #[test]
+    fn quantized_beam_at_full_width_equals_the_exact_beam() {
+        use pg_metric::{CompactPoints, QuantKind};
+        let n = 30;
+        let ds = line_dataset(n);
+        let g = path_graph(n);
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let q = vec![13.4];
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            let compact = CompactPoints::from_rows(kind, &rows).unwrap();
+            // ef = n on a connected graph gathers every vertex, so the
+            // re-ranked top-k must equal the exact top-k bit-for-bit.
+            let exact = beam_search_detailed(&g, &ds, 0, &q, n, 5);
+            let quant = beam_search_quantized(&g, &ds, &compact, 0, &q, n, 5);
+            assert_eq!(exact.results, quant.results);
+
+            // Accounting: the quantized walk visited all n vertices and then
+            // re-ranked all n candidates.
+            let sur = beam_search_quantized_surrogate(&g, &ds, &compact, 0, &q, n, 5);
+            assert_eq!(sur.candidates, n);
+            assert_eq!(sur.dist_comps, 2 * n as u64);
+        }
+    }
+
+    #[test]
+    fn quantized_rerank_reports_exact_surrogate_keys() {
+        use pg_metric::{CompactPoints, QuantKind};
+        let n = 25;
+        let ds = line_dataset(n);
+        let g = path_graph(n);
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let compact = CompactPoints::from_rows(QuantKind::Sq8, &rows).unwrap();
+        let q = vec![7.3];
+        let sur = beam_search_quantized_surrogate(&g, &ds, &compact, 0, &q, 6, 6);
+        for &(id, s) in &sur.results {
+            // Every reported key is the exact full-precision surrogate, not
+            // the quantized one the walk navigated by.
+            assert_eq!(s, ds.surrogate_to(id as usize, &q));
+        }
     }
 }

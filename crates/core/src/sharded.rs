@@ -73,7 +73,7 @@
 
 use std::path::Path;
 
-use pg_metric::{FlatPoints, FlatRow, Metric};
+use pg_metric::{CompactPoints, FlatPoints, FlatRow, Metric, QuantKind, Quantized};
 use pg_store::{shard_file_name, BuildParams, ShardManifest, SnapshotError, SHARD_MANIFEST_FILE};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -83,7 +83,7 @@ use crate::engine::{BatchBeamDetail, BatchBeamOutcome, QueryEngine};
 use crate::gnet::GNet;
 use crate::graph::Graph;
 use crate::params::GNetParams;
-use crate::search::{beam_search_surrogate, BeamOutcome};
+use crate::search::{beam_search_quantized_surrogate, beam_search_surrogate, BeamOutcome};
 use crate::snapshot::SnapshotMetric;
 
 /// How points are assigned to shards. Every strategy is a pure function of
@@ -300,6 +300,102 @@ impl<M: Metric<FlatRow> + Sync> ShardedEngine<M> {
             dist_comps: detail.dist_comps,
         }
     }
+
+    /// Encodes every shard's points into the compact representation `kind`,
+    /// one store per shard. SQ8 codebooks are therefore **per-shard**
+    /// (each shard trains its own per-dimension ranges on its own points)
+    /// — tighter ranges than one global codebook, and no cross-shard
+    /// coordination on the write path.
+    pub fn quantize(&self, kind: QuantKind) -> Result<Vec<CompactPoints>, String> {
+        self.shards.iter().map(|s| s.quantize(kind)).collect()
+    }
+
+    /// The quantized counterpart of [`ShardedEngine::batch_beam_detailed`]:
+    /// each `(query, shard)` pair navigates in that shard's compact store
+    /// and re-ranks its candidate set with exact `f64` distances
+    /// ([`beam_search_quantized_surrogate`]). Because the per-shard result
+    /// keys are already **exact** surrogates after the re-rank, the merge
+    /// is the very same `(surrogate, global id)` sort as the
+    /// full-precision path — quantization changes what the walks gather,
+    /// never the merge semantics — and at `ef >= n` the output is
+    /// bit-identical to the full-precision engine.
+    ///
+    /// # Panics
+    /// If `compacts` was not produced for these shards (count or per-shard
+    /// length mismatch).
+    pub fn batch_beam_quantized_detailed<C: Quantized + Sync>(
+        &self,
+        compacts: &[C],
+        queries: &[FlatRow],
+        ef: usize,
+        k: usize,
+    ) -> BatchBeamDetail {
+        let s = self.shards.len();
+        assert_eq!(compacts.len(), s, "one compact store per shard required");
+        let pairs: Vec<(usize, usize)> = (0..queries.len())
+            .flat_map(|q| (0..s).map(move |i| (q, i)))
+            .collect();
+        let per_pair = rayon::par_map_indexed_with(self.threads, &pairs, |_, &(q, i)| {
+            let shard = &self.shards[i];
+            beam_search_quantized_surrogate(
+                shard.graph(),
+                shard.data(),
+                &compacts[i],
+                0,
+                &queries[q],
+                ef,
+                k,
+            )
+        });
+        let outcomes: Vec<BeamOutcome> = (0..queries.len())
+            .map(|q| {
+                let mut merged: Vec<(u32, f64)> = Vec::with_capacity(s * k);
+                let mut dist_comps = 0u64;
+                let mut expansions = 0u64;
+                for i in 0..s {
+                    let out = &per_pair[q * s + i];
+                    dist_comps += out.dist_comps;
+                    expansions += out.expansions;
+                    for &(local, sur) in &out.results {
+                        merged.push((self.global_ids[i][local as usize], sur));
+                    }
+                }
+                merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                merged.truncate(k);
+                let data = self.shards[0].data();
+                let results = merged
+                    .into_iter()
+                    .map(|(id, sur)| (id, data.dist_from_surrogate(sur)))
+                    .collect();
+                BeamOutcome {
+                    results,
+                    dist_comps,
+                    expansions,
+                }
+            })
+            .collect();
+        let dist_comps = outcomes.iter().map(|o| o.dist_comps).sum();
+        BatchBeamDetail {
+            outcomes,
+            dist_comps,
+        }
+    }
+
+    /// [`ShardedEngine::batch_beam_quantized_detailed`] without the
+    /// per-query accounting.
+    pub fn batch_beam_quantized<C: Quantized + Sync>(
+        &self,
+        compacts: &[C],
+        queries: &[FlatRow],
+        ef: usize,
+        k: usize,
+    ) -> BatchBeamOutcome {
+        let detail = self.batch_beam_quantized_detailed(compacts, queries, ef, k);
+        BatchBeamOutcome {
+            results: detail.outcomes.into_iter().map(|o| o.results).collect(),
+            dist_comps: detail.dist_comps,
+        }
+    }
 }
 
 impl<M: Metric<FlatRow> + SnapshotMetric + Sync> ShardedEngine<M> {
@@ -432,6 +528,72 @@ mod tests {
             let got = engine.batch_beam_detailed(&qs, 96, 4);
             assert_eq!(got.outcomes, want.outcomes, "diverged at {shards} shards");
             assert_eq!(got.dist_comps, want.dist_comps);
+        }
+    }
+
+    #[test]
+    fn quantized_exact_search_matches_the_unsharded_engine_results() {
+        let points = grid(96);
+        let single = {
+            let data = points.clone().into_dataset(Euclidean);
+            let g = GNet::build(&data, 1.0);
+            QueryEngine::new(g.graph, data)
+        };
+        let qs = queries(9);
+        let starts = vec![0u32; qs.len()];
+        let want = single.batch_beam_detailed(&starts, &qs, 96, 4);
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            for shards in [1, 2, 3, 8] {
+                let engine = ShardedEngine::build(
+                    &points,
+                    Euclidean,
+                    1.0,
+                    shards,
+                    &ShardAssignment::SeededRandom { seed: 5 },
+                );
+                let compacts = engine.quantize(kind).unwrap();
+                assert_eq!(compacts.len(), shards);
+                // At ef = n each shard's candidate set is its whole point
+                // set; the exact re-rank then makes every per-shard top-k
+                // exact, so the merged result ids and distances equal the
+                // full-precision single engine bit-for-bit. (dist_comps
+                // differ: the quantized path also counts the re-rank.)
+                let got = engine.batch_beam_quantized_detailed(&compacts, &qs, 96, 4);
+                for (g, w) in got.outcomes.iter().zip(want.outcomes.iter()) {
+                    assert_eq!(
+                        g.results,
+                        w.results,
+                        "{} diverged at {shards} shards",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_results_are_thread_count_invariant() {
+        let points = grid(80);
+        let engine = ShardedEngine::build(
+            &points,
+            Euclidean,
+            1.0,
+            3,
+            &ShardAssignment::SeededRandom { seed: 11 },
+        );
+        let compacts = engine.quantize(QuantKind::Sq8).unwrap();
+        let qs = queries(7);
+        let base = engine
+            .clone()
+            .with_threads(1)
+            .batch_beam_quantized_detailed(&compacts, &qs, 20, 3);
+        let machine = std::thread::available_parallelism().map_or(1, |t| t.get());
+        for t in [2, machine] {
+            let got = engine
+                .clone()
+                .with_threads(t)
+                .batch_beam_quantized_detailed(&compacts, &qs, 20, 3);
+            assert_eq!(got.outcomes, base.outcomes, "diverged at {t} threads");
         }
     }
 

@@ -56,8 +56,11 @@
 
 use std::path::Path;
 
-use pg_metric::{Chebyshev, Euclidean, FlatPoints, FlatRow, Manhattan, Metric};
-use pg_store::{BuildParams, IndexMeta, MetricTag, Snapshot, SnapshotError};
+use pg_metric::{
+    Chebyshev, CompactPoints, Euclidean, F32Points, FlatPoints, FlatRow, Manhattan, Metric,
+    Quantized, Sq8Points,
+};
+use pg_store::{BuildParams, IndexMeta, MetricTag, QuantSection, Snapshot, SnapshotError};
 
 use crate::engine::QueryEngine;
 use crate::graph::Graph;
@@ -327,6 +330,7 @@ impl<P: AsRef<[f64]>, M: Metric<P> + SnapshotMetric> QueryEngine<P, M> {
                 .collect(),
             targets: self.graph().csr_targets().to_vec(),
             coords,
+            quant: None,
         };
         snap.validate()?;
         Ok(snap)
@@ -370,6 +374,58 @@ impl<P: AsRef<[f64]>, M: Metric<P> + SnapshotMetric> QueryEngine<P, M> {
     ) -> Result<(), SnapshotError> {
         self.to_snapshot(entry_point, build)?.save(path)
     }
+
+    /// [`QueryEngine::to_snapshot`] plus a compact-points section: the
+    /// snapshot carries `compact` (typically from [`QueryEngine::quantize`])
+    /// alongside the exact coordinates and writes as format version 2.
+    ///
+    /// `compact` must describe exactly this engine's points (same count,
+    /// same dimensionality); a mismatched store is refused with
+    /// [`SnapshotError::Invalid`] before any bytes are produced.
+    pub fn to_snapshot_quantized(
+        &self,
+        entry_point: u32,
+        build: Option<BuildParams>,
+        compact: &CompactPoints,
+    ) -> Result<Snapshot, SnapshotError> {
+        let mut snap = self.to_snapshot(entry_point, build)?;
+        if compact.len() as u64 != snap.meta.n || compact.dim() as u32 != snap.meta.dims {
+            return Err(SnapshotError::Invalid {
+                reason: format!(
+                    "compact store holds {} points of dim {}, engine holds {} of dim {}",
+                    compact.len(),
+                    compact.dim(),
+                    snap.meta.n,
+                    snap.meta.dims
+                ),
+            });
+        }
+        snap.quant = Some(match compact {
+            CompactPoints::F32(p) => QuantSection::F32 {
+                data: p.data().to_vec(),
+            },
+            CompactPoints::Sq8(p) => QuantSection::Sq8 {
+                mins: p.mins().to_vec(),
+                steps: p.steps().to_vec(),
+                codes: p.codes().to_vec(),
+            },
+        });
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Saves the engine together with a compact-points section (format
+    /// version 2). See [`QueryEngine::to_snapshot_quantized`].
+    pub fn save_quantized(
+        &self,
+        path: impl AsRef<Path>,
+        entry_point: u32,
+        build: Option<BuildParams>,
+        compact: &CompactPoints,
+    ) -> Result<(), SnapshotError> {
+        self.to_snapshot_quantized(entry_point, build, compact)?
+            .save(path)
+    }
 }
 
 impl<M: Metric<FlatRow> + SnapshotMetric> QueryEngine<FlatRow, M> {
@@ -392,6 +448,53 @@ impl<M: Metric<FlatRow> + SnapshotMetric> QueryEngine<FlatRow, M> {
         Self::from_snapshot(Snapshot::load(path)?)
     }
 
+    /// Loads an engine **and its compact-points store** from a version-2
+    /// snapshot saved by [`QueryEngine::save_quantized`]. The engine is
+    /// bit-identical to the saved one; the returned [`CompactPoints`]
+    /// carries the exact `f32` buffer or SQ8 codebook that was written, so
+    /// quantized search after a round-trip answers exactly like before.
+    ///
+    /// A plain (version-1) file is refused with
+    /// [`SnapshotError::QuantMismatch`] `{ found: None }` — never a panic,
+    /// and never a silently re-quantized store.
+    pub fn load_quantized(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, CompactPoints, IndexMeta), SnapshotError> {
+        Self::from_snapshot_quantized(Snapshot::load(path)?)
+    }
+
+    /// Reconstructs an engine plus its compact store from an in-memory
+    /// version-2 [`Snapshot`]. See [`QueryEngine::load_quantized`].
+    pub fn from_snapshot_quantized(
+        mut snap: Snapshot,
+    ) -> Result<(Self, CompactPoints, IndexMeta), SnapshotError> {
+        let quant = snap
+            .quant
+            .take()
+            .ok_or(SnapshotError::QuantMismatch { found: None })?;
+        let dims = snap.meta.dims as usize;
+        let n = snap.meta.n;
+        let compact = match quant {
+            QuantSection::F32 { data } => {
+                F32Points::try_from_raw(data, dims).map(CompactPoints::F32)
+            }
+            QuantSection::Sq8 { mins, steps, codes } => {
+                Sq8Points::try_from_raw(codes, mins, steps, dims).map(CompactPoints::Sq8)
+            }
+        }
+        .map_err(|reason| SnapshotError::Invalid { reason })?;
+        if compact.len() as u64 != n {
+            return Err(SnapshotError::Invalid {
+                reason: format!(
+                    "compact store holds {} points, META stores n = {n}",
+                    compact.len()
+                ),
+            });
+        }
+        let (engine, meta) = Self::from_snapshot(snap)?;
+        Ok((engine, compact, meta))
+    }
+
     /// Reconstructs an engine from an in-memory [`Snapshot`]. The graph- and
     /// buffer-level invariants are (re-)established here through
     /// [`Graph::try_from_csr`] and `FlatPoints::try_from_raw` — untrusted
@@ -404,11 +507,19 @@ impl<M: Metric<FlatRow> + SnapshotMetric> QueryEngine<FlatRow, M> {
                 found: snap.meta.metric,
             });
         }
+        // A plain loader must not silently drop a quantized section the
+        // writer considered part of the index: demand the quantized loader.
+        if let Some(q) = &snap.quant {
+            return Err(SnapshotError::QuantMismatch {
+                found: Some(q.tag()),
+            });
+        }
         let Snapshot {
             meta,
             offsets,
             targets,
             coords,
+            quant: _,
         } = snap;
         let offsets: Vec<usize> = offsets
             .into_iter()
@@ -452,7 +563,7 @@ impl<M: Metric<FlatRow> + SnapshotMetric> QueryEngine<FlatRow, M> {
 mod tests {
     use super::*;
     use crate::gnet::GNet;
-    use pg_metric::Dataset;
+    use pg_metric::{Dataset, QuantKind};
 
     fn flat_engine(n: usize, seed: u64) -> (QueryEngine<FlatRow, Euclidean>, GNetParams) {
         let points = FlatPoints::from_fn(n, 2, |i, out| {
@@ -632,6 +743,75 @@ mod tests {
     fn any_engine_load_propagates_typed_errors() {
         let err = AnyEngine::load("/definitely/not/a/real/path.pgix").unwrap_err();
         assert!(matches!(err, SnapshotError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn quantized_roundtrip_restores_engine_and_compact_store() {
+        for kind in [QuantKind::F32, QuantKind::Sq8] {
+            let (engine, params) = flat_engine(60, 11);
+            let compact = engine.quantize(kind).unwrap();
+            let path = temp(&format!("quant_{}", kind.name()));
+            engine
+                .save_quantized(&path, 3, Some(params.into()), &compact)
+                .unwrap();
+            let (loaded, back, meta) =
+                QueryEngine::<FlatRow, Euclidean>::load_quantized(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+
+            assert_eq!(loaded.graph(), engine.graph());
+            assert_eq!(meta.entry_point, 3);
+            assert_eq!(back, compact, "compact store changed across the disk");
+            // Quantized search after the round-trip answers exactly like
+            // before it.
+            let queries: Vec<FlatRow> = (0..6)
+                .map(|i| FlatRow::from(vec![(i * 9 % 50) as f64, (i % 5) as f64]))
+                .collect();
+            let starts = vec![0u32; queries.len()];
+            let a = engine.batch_beam_quantized(&compact, &starts, &queries, 8, 3);
+            let b = loaded.batch_beam_quantized(&back, &starts, &queries, 8, 3);
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.dist_comps, b.dist_comps);
+        }
+    }
+
+    #[test]
+    fn quant_mismatch_is_typed_in_both_directions() {
+        let (engine, _) = flat_engine(30, 5);
+        let compact = engine.quantize(QuantKind::Sq8).unwrap();
+
+        // Plain loader on a quantized file.
+        let path = temp("quant_on_plain_loader");
+        engine.save_quantized(&path, 0, None, &compact).unwrap();
+        let err = QueryEngine::<FlatRow, Euclidean>::load(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::QuantMismatch {
+                    found: Some(pg_store::QuantTag::Sq8)
+                }
+            ),
+            "got {err:?}"
+        );
+
+        // Quantized loader on a plain file.
+        let path = temp("plain_on_quant_loader");
+        engine.save(&path).unwrap();
+        let err = QueryEngine::<FlatRow, Euclidean>::load_quantized(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(
+            matches!(err, SnapshotError::QuantMismatch { found: None }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_compact_store_is_refused_at_save_time() {
+        let (engine, _) = flat_engine(40, 2);
+        let (small, _) = flat_engine(20, 2);
+        let compact = small.quantize(QuantKind::F32).unwrap();
+        let err = engine.to_snapshot_quantized(0, None, &compact).unwrap_err();
+        assert!(matches!(err, SnapshotError::Invalid { .. }), "got {err:?}");
     }
 
     #[test]

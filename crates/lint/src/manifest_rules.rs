@@ -362,7 +362,15 @@ pub fn check_bench_artifact(path: &str, text: &str) -> Vec<Finding> {
         ),
         None => push(1, "missing numeric `threads`".to_string()),
     }
-    let known = ["kernels", "queries", "suite", "frontiers", "serve", "shard"];
+    let known = [
+        "kernels",
+        "queries",
+        "suite",
+        "frontiers",
+        "serve",
+        "shard",
+        "quant",
+    ];
     if !known.iter().any(|k| root.get(k).is_some()) {
         push(
             1,
@@ -486,6 +494,98 @@ pub fn check_bench_artifact(path: &str, text: &str) -> Vec<Finding> {
                     }
                     _ => push(1, format!("shard.{sec} must be an array")),
                 }
+            }
+        }
+    }
+    if let Some(quant) = root.get("quant") {
+        if !matches!(quant, Value::Obj(_)) {
+            push(
+                1,
+                format!("`quant` must be an object, found {}", quant.type_name()),
+            );
+        } else {
+            match quant.get("parity") {
+                Some(parity @ Value::Obj(_)) => {
+                    if parity.get("failures").and_then(Value::as_num) != Some(0.0) {
+                        push(
+                            1,
+                            "quant.parity.failures must be 0 (exp_quant asserts the exact \
+                             re-rank and reorder bit-equality before any timing)"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => push(1, "quant.parity must be an object".to_string()),
+            }
+            match quant.get("locality") {
+                Some(Value::Arr(rows)) => {
+                    for (j, row) in rows.iter().enumerate() {
+                        if row.get("workload").and_then(Value::as_str).is_none() {
+                            push(1, format!("quant.locality[{j}].workload must be a string"));
+                        }
+                        for key in ["mean_gap_before", "mean_gap_after"] {
+                            if row.get(key).and_then(Value::as_num).is_none() {
+                                push(1, format!("quant.locality[{j}].{key} must be a number"));
+                            }
+                        }
+                    }
+                }
+                _ => push(1, "quant.locality must be an array".to_string()),
+            }
+            match quant.get("frontiers") {
+                Some(Value::Arr(items)) => {
+                    let mut has_f64_baseline = false;
+                    for (i, f) in items.iter().enumerate() {
+                        let ctx = format!("quant.frontiers[{i}]");
+                        for key in ["workload", "precision"] {
+                            if f.get(key).and_then(Value::as_str).is_none() {
+                                push(1, format!("{ctx}.{key} must be a string"));
+                            }
+                        }
+                        if f.get("precision").and_then(Value::as_str) == Some("f64") {
+                            has_f64_baseline = true;
+                        }
+                        match f.get("rows") {
+                            Some(Value::Arr(rows)) => {
+                                for (j, row) in rows.iter().enumerate() {
+                                    for key in ["recall", "success_at_eps"] {
+                                        match row.get(key).and_then(Value::as_num) {
+                                            Some(v) if (0.0..=1.0).contains(&v) => {}
+                                            Some(v) => push(
+                                                1,
+                                                format!(
+                                                    "{ctx}.rows[{j}].{key} = {v} is outside [0, 1] — a score cannot exceed 1"
+                                                ),
+                                            ),
+                                            None => push(
+                                                1,
+                                                format!("{ctx}.rows[{j}].{key} must be a number"),
+                                            ),
+                                        }
+                                    }
+                                    for key in ["param", "dist_comps"] {
+                                        if row.get(key).and_then(Value::as_num).is_none() {
+                                            push(
+                                                1,
+                                                format!("{ctx}.rows[{j}].{key} must be a number"),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                            _ => push(1, format!("{ctx}.rows must be an array")),
+                        }
+                    }
+                    if !items.is_empty() && !has_f64_baseline {
+                        push(
+                            1,
+                            "quant.frontiers has no precision \"f64\" entry — quantized rows \
+                             are meaningless without the exact baseline on the same axes"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => push(1, "quant.frontiers must be an array".to_string()),
             }
         }
     }
@@ -746,6 +846,58 @@ impl ErrorCode {
         let findings = check_bench_artifact("BENCH_pr9.json", &gateless);
         assert!(
             findings.iter().any(|f| f.message.contains("shard.parity")),
+            "{findings:?}"
+        );
+    }
+
+    const QUANT_ARTIFACT: &str = r#"{
+  "schema_version": 1, "label": "pr10", "smoke": false, "threads": 2,
+  "suite": {"n": 1200, "m": 80, "k": 10, "eps": 1.0},
+  "quant": {
+    "parity": {"rerank_checks": 4, "reorder_checks": 40, "thread_checks": 6, "failures": 0},
+    "locality": [{"workload": "uniform-2d", "mean_gap_before": 434.9, "mean_gap_after": 417.0}],
+    "frontiers": [
+      {"workload": "uniform-2d", "precision": "f64", "axis": "ef", "k": 10,
+       "rows": [{"param": 2, "recall": 0.21, "mean_dist_ratio": 1.1,
+                 "success_at_eps": 0.9, "dist_comps": 120.0, "hops": 4.1, "qps": 90000.0}]},
+      {"workload": "uniform-2d", "precision": "sq8", "axis": "ef", "k": 10,
+       "rows": [{"param": 2, "recall": 0.2, "mean_dist_ratio": 1.2,
+                 "success_at_eps": 0.88, "dist_comps": 118.0, "hops": 4.0, "qps": 110000.0}]}
+    ]
+  }
+}"#;
+
+    #[test]
+    fn good_quant_artifact_passes() {
+        let findings = check_bench_artifact("BENCH_pr10.json", QUANT_ARTIFACT);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn quant_parity_failures_bad_scores_and_missing_baseline_fail() {
+        // A recorded parity failure is the one thing that must never ship.
+        let poisoned = QUANT_ARTIFACT.replace("\"failures\": 0", "\"failures\": 2");
+        let findings = check_bench_artifact("BENCH_pr10.json", &poisoned);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("quant.parity.failures"));
+
+        // Hand-edited recall above 1.
+        let poisoned = QUANT_ARTIFACT.replace("\"recall\": 0.2,", "\"recall\": 3.2,");
+        let findings = check_bench_artifact("BENCH_pr10.json", &poisoned);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("outside [0, 1]"));
+
+        // Quantized frontiers without the exact f64 baseline are meaningless.
+        let baseless = QUANT_ARTIFACT.replace("\"precision\": \"f64\"", "\"precision\": \"f32\"");
+        let findings = check_bench_artifact("BENCH_pr10.json", &baseless);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("f64"));
+
+        // A quant section without its parity gate is malformed.
+        let gateless = QUANT_ARTIFACT.replace("\"parity\"", "\"prty\"");
+        let findings = check_bench_artifact("BENCH_pr10.json", &gateless);
+        assert!(
+            findings.iter().any(|f| f.message.contains("quant.parity")),
             "{findings:?}"
         );
     }

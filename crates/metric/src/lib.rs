@@ -16,6 +16,10 @@
 //! * [`FlatPoints`] / [`FlatRow`] ([`flat`]), the contiguous row-major point
 //!   layout every hot path should run on, and the surrogate-comparison hooks
 //!   on [`Metric`] that let search compare in squared space under `L_2`;
+//! * [`CompactPoints`] / [`Quantized`] ([`quant`]), the reduced-precision
+//!   (`f32` and 8-bit scalar-quantized) point stores that hot paths can
+//!   navigate by surrogate before re-ranking candidates with exact `f64`
+//!   distances;
 //! * aspect-ratio utilities ([`aspect`]), including the approximation
 //!   `d̂_max ∈ [d_max, 2 d_max]` from the remark of Section 2.4;
 //! * empirical doubling-dimension estimators ([`doubling`]).
@@ -34,6 +38,7 @@ pub mod doubling;
 pub mod flat;
 pub mod lp;
 pub mod metric;
+pub mod quant;
 pub mod scaled;
 
 pub use angular::{normalize, Angular};
@@ -42,6 +47,7 @@ pub use dataset::Dataset;
 pub use flat::{FlatPoints, FlatRow};
 pub use lp::{Chebyshev, Euclidean, Manhattan};
 pub use metric::Metric;
+pub use quant::{CompactPoints, F32Points, PreparedQuery, QuantKind, Quantized, Sq8Points};
 pub use scaled::Scaled;
 
 /// A flat-backed Euclidean-style dataset: contiguous coordinates, generic

@@ -23,7 +23,7 @@
 //! (`QueryEngine::save` / `QueryEngine::load`) and re-validates the
 //! graph-level invariants on load.
 //!
-//! # File format (version 1)
+//! # File format (versions 1 and 2)
 //!
 //! Everything is **little-endian**. The byte-level layout table lives in
 //! `ARCHITECTURE.md` at the repository root (§ "Index snapshots"); in
@@ -31,6 +31,16 @@
 //! `section_count`), followed by three framed sections (`META`, `GRPH`,
 //! `PNTS`) in that fixed order, each carrying its payload length and an
 //! FNV-1a 64 checksum ([`checksum`]) of the payload.
+//!
+//! Version 2 **appends** exactly one more framed section carrying a
+//! compact-points store ([`QuantSection`]): tag `PN32` (row-major `f32`
+//! coordinates) or `PNQ8` (8-bit scalar-quantized codes with per-dimension
+//! affine parameters). Append-only evolution: the first three sections are
+//! byte-identical to version 1, a plain snapshot still writes version 1,
+//! and readers accept both versions — so every version-1 file on disk
+//! stays loadable forever. A typed loader whose quantization expectation
+//! disagrees with the file gets [`SnapshotError::QuantMismatch`], never a
+//! panic.
 //!
 //! Corrupt, truncated, or incompatible files **never panic and never yield
 //! a partially-read index**: every failure is a typed [`SnapshotError`],
@@ -59,6 +69,7 @@
 //!     offsets: vec![0, 2, 3, 4],
 //!     targets: vec![1, 2, 0, 0],
 //!     coords: vec![0.0, 0.0, 3.0, 4.0, 0.0, 1.0],
+//!     quant: None,
 //! };
 //! let bytes = snap.to_bytes().unwrap();
 //! let back = Snapshot::from_bytes(&bytes).unwrap();
@@ -74,13 +85,19 @@ use std::path::{Path, PathBuf};
 /// The 8-byte magic prefix of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"PGIXSNAP";
 
-/// The snapshot format version this crate reads and writes.
+/// The snapshot format version written for snapshots **without** a
+/// quantized section — the original three-section layout, byte-for-byte.
 ///
-/// Versioning rule: readers accept exactly the versions they know (currently
-/// `1`) and reject anything newer with
-/// [`SnapshotError::UnsupportedVersion`] — a new layout means a version
-/// bump, never a silent reinterpretation of old bytes.
+/// Versioning rule: readers accept exactly the versions they know
+/// (currently `1` and [`FORMAT_VERSION_QUANT`]) and reject anything newer
+/// with [`SnapshotError::UnsupportedVersion`] — a new layout means a
+/// version bump, never a silent reinterpretation of old bytes.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// The snapshot format version written when a quantized-points section
+/// ([`QuantSection`]; tag `PN32` or `PNQ8`) is appended after `PNTS`. The
+/// newest version this crate reads.
+pub const FORMAT_VERSION_QUANT: u32 = 2;
 
 /// Bytes of the fixed file header: magic + `format_version` +
 /// `section_count`.
@@ -185,7 +202,8 @@ impl fmt::Display for MetricTag {
     }
 }
 
-/// The three sections of a version-1 snapshot, in file order.
+/// The sections of a snapshot, in file order. Versions 1 and 2 share the
+/// first three; version 2 appends exactly one of the two quantized tags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SectionTag {
     /// `META`: index metadata ([`IndexMeta`]).
@@ -194,6 +212,12 @@ pub enum SectionTag {
     Graph,
     /// `PNTS`: the flat coordinate buffer.
     Points,
+    /// `PN32` (the "PNTS32" section): row-major `f32` coordinates —
+    /// version 2 only.
+    Points32,
+    /// `PNQ8` (the "PNTSQ8" section): 8-bit scalar-quantized codes with
+    /// per-dimension affine parameters — version 2 only.
+    PointsSq8,
     /// `MANI`: the single checksummed payload of a [`ShardManifest`] file
     /// (not a section of `PGIXSNAP` snapshots — named here so manifest
     /// corruption reports through the same [`SnapshotError::ChecksumMismatch`]).
@@ -207,6 +231,8 @@ impl SectionTag {
             SectionTag::Meta => *b"META",
             SectionTag::Graph => *b"GRPH",
             SectionTag::Points => *b"PNTS",
+            SectionTag::Points32 => *b"PN32",
+            SectionTag::PointsSq8 => *b"PNQ8",
             SectionTag::Manifest => *b"MANI",
         }
     }
@@ -251,6 +277,69 @@ pub struct IndexMeta {
     pub build: Option<BuildParams>,
 }
 
+/// Which quantized-points section a version-2 snapshot carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantTag {
+    /// `PN32`: row-major `f32` coordinates.
+    F32,
+    /// `PNQ8`: 8-bit scalar-quantized codes with per-dimension affine
+    /// parameters.
+    Sq8,
+}
+
+impl QuantTag {
+    /// The section tag this quantization kind is framed with on disk.
+    pub fn section(self) -> SectionTag {
+        match self {
+            QuantTag::F32 => SectionTag::Points32,
+            QuantTag::Sq8 => SectionTag::PointsSq8,
+        }
+    }
+}
+
+impl fmt::Display for QuantTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantTag::F32 => write!(f, "f32"),
+            QuantTag::Sq8 => write!(f, "sq8"),
+        }
+    }
+}
+
+/// The payload of a version-2 quantized-points section: a compact copy of
+/// the coordinate matrix in one of two precisions. The exact `f64` buffer
+/// in [`Snapshot::coords`] is always present alongside — the compact store
+/// serves surrogate navigation, the exact one serves re-ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantSection {
+    /// Row-major `n × dims` coordinates narrowed to `f32` (`PN32`).
+    F32 {
+        /// The `f32` coordinate buffer, length `n * dims`.
+        data: Vec<f32>,
+    },
+    /// Per-dimension affine 8-bit codes (`PNQ8`):
+    /// `decode(i, j) = mins[j] + codes[i*dims + j] * steps[j]`.
+    Sq8 {
+        /// Per-dimension minimum, length `dims`, all finite.
+        mins: Vec<f64>,
+        /// Per-dimension step `(max - min) / 255`, length `dims`, all
+        /// finite and `>= 0` (`0` for a constant dimension).
+        steps: Vec<f64>,
+        /// Row-major `n × dims` code buffer.
+        codes: Vec<u8>,
+    },
+}
+
+impl QuantSection {
+    /// Which quantization kind this section stores.
+    pub fn tag(&self) -> QuantTag {
+        match self {
+            QuantSection::F32 { .. } => QuantTag::F32,
+            QuantSection::Sq8 { .. } => QuantTag::Sq8,
+        }
+    }
+}
+
 /// Everything a snapshot stores, in memory: metadata plus the raw CSR and
 /// coordinate arrays. See the module docs for the invariants
 /// ([`Snapshot::validate`] checks them on both the write and the read path).
@@ -267,6 +356,10 @@ pub struct Snapshot {
     pub targets: Vec<u32>,
     /// Row-major `n × dims` coordinate buffer, all values finite.
     pub coords: Vec<f64>,
+    /// Optional compact-points section. `None` writes a version-1 file,
+    /// byte-identical to snapshots from before quantization existed;
+    /// `Some` writes version 2 with the extra section appended.
+    pub quant: Option<QuantSection>,
 }
 
 /// Every way reading or writing a snapshot can fail. No variant is ever
@@ -300,6 +393,14 @@ pub enum SnapshotError {
         /// The metric recorded in the file.
         found: MetricTag,
     },
+    /// A typed loader's quantization expectation disagrees with the file:
+    /// a plain loader opened a quantized (version-2) snapshot, or a
+    /// quantized loader opened a plain (version-1) one.
+    QuantMismatch {
+        /// The quantized section the file carries (`None` for a plain
+        /// snapshot).
+        found: Option<QuantTag>,
+    },
     /// The bytes parse but violate a structural invariant (unknown codes,
     /// inconsistent counts, non-monotone offsets, out-of-range ids, …).
     Invalid {
@@ -317,7 +418,7 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::UnsupportedVersion { found } => write!(
                 f,
-                "snapshot format version {found} is newer than the supported version {FORMAT_VERSION}"
+                "snapshot format version {found} is newer than the supported version {FORMAT_VERSION_QUANT}"
             ),
             SnapshotError::Truncated { context } => {
                 write!(f, "snapshot truncated while reading {context}")
@@ -329,6 +430,16 @@ impl fmt::Display for SnapshotError {
                 f,
                 "metric mismatch: loader expected {expected}, snapshot stores {found}"
             ),
+            SnapshotError::QuantMismatch { found } => match found {
+                Some(tag) => write!(
+                    f,
+                    "quantization mismatch: plain loader opened a snapshot carrying a {tag} quantized section"
+                ),
+                None => write!(
+                    f,
+                    "quantization mismatch: quantized loader opened a plain snapshot with no quantized section"
+                ),
+            },
             SnapshotError::Invalid { reason } => write!(f, "invalid snapshot: {reason}"),
         }
     }
@@ -479,9 +590,12 @@ fn push_f64(buf: &mut Vec<u8>, v: f64) {
 }
 
 impl Snapshot {
-    /// Serializes into the version-1 byte layout. Runs [`Snapshot::validate`]
-    /// first, so a structurally broken `Snapshot` is refused at write time
-    /// rather than producing an unreadable file.
+    /// Serializes into the on-disk byte layout — version 1 when
+    /// [`Snapshot::quant`] is `None` (byte-identical to pre-quantization
+    /// writers), version 2 with the quantized section appended otherwise.
+    /// Runs [`Snapshot::validate`] first, so a structurally broken
+    /// `Snapshot` is refused at write time rather than producing an
+    /// unreadable file.
     pub fn to_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
         self.validate()?;
 
@@ -489,16 +603,30 @@ impl Snapshot {
         let graph = self.encode_graph();
         let points = self.encode_points();
 
-        let total = HEADER_LEN + 3 * SECTION_HEADER_LEN + meta.len() + graph.len() + points.len();
+        let mut framed: Vec<(SectionTag, Vec<u8>)> = vec![
+            (SectionTag::Meta, meta),
+            (SectionTag::Graph, graph),
+            (SectionTag::Points, points),
+        ];
+        let version = match &self.quant {
+            None => FORMAT_VERSION,
+            Some(q) => {
+                framed.push((
+                    q.tag().section(),
+                    encode_quant(q, self.meta.n, self.meta.dims),
+                ));
+                FORMAT_VERSION_QUANT
+            }
+        };
+
+        let total = HEADER_LEN
+            + framed.len() * SECTION_HEADER_LEN
+            + framed.iter().map(|(_, p)| p.len()).sum::<usize>();
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(&MAGIC);
-        push_u32(&mut out, FORMAT_VERSION);
-        push_u32(&mut out, 3); // section count
-        for (tag, payload) in [
-            (SectionTag::Meta, &meta),
-            (SectionTag::Graph, &graph),
-            (SectionTag::Points, &points),
-        ] {
+        push_u32(&mut out, version);
+        push_u32(&mut out, framed.len() as u32); // section count
+        for (tag, payload) in &framed {
             out.extend_from_slice(&tag.bytes());
             push_u64(&mut out, payload.len() as u64);
             push_u64(&mut out, checksum(payload));
@@ -644,6 +772,48 @@ impl Snapshot {
         if self.coords.iter().any(|c| !c.is_finite()) {
             return Err(invalid("non-finite coordinate"));
         }
+        match &self.quant {
+            None => {}
+            Some(QuantSection::F32 { data }) => {
+                if data.len() as u64 != expect_coords {
+                    return Err(invalid(format!(
+                        "PN32 section holds {} values, expected n * dims = {expect_coords}",
+                        data.len()
+                    )));
+                }
+                if data.iter().any(|c| !c.is_finite()) {
+                    return Err(invalid("non-finite f32 quantized coordinate"));
+                }
+            }
+            Some(QuantSection::Sq8 { mins, steps, codes }) => {
+                if mins.len() != self.meta.dims as usize {
+                    return Err(invalid(format!(
+                        "PNQ8 mins length {} does not match dims {}",
+                        mins.len(),
+                        self.meta.dims
+                    )));
+                }
+                if steps.len() != self.meta.dims as usize {
+                    return Err(invalid(format!(
+                        "PNQ8 steps length {} does not match dims {}",
+                        steps.len(),
+                        self.meta.dims
+                    )));
+                }
+                if codes.len() as u64 != expect_coords {
+                    return Err(invalid(format!(
+                        "PNQ8 section holds {} codes, expected n * dims = {expect_coords}",
+                        codes.len()
+                    )));
+                }
+                if mins.iter().any(|m| !m.is_finite()) {
+                    return Err(invalid("non-finite PNQ8 minimum"));
+                }
+                if steps.iter().any(|s| !s.is_finite() || *s < 0.0) {
+                    return Err(invalid("PNQ8 step must be finite and non-negative"));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -654,7 +824,7 @@ impl Snapshot {
     /// Parses a snapshot from bytes. Never panics: truncation, corruption,
     /// unknown versions and structural violations all surface as the
     /// matching [`SnapshotError`] variant, and nothing is returned unless
-    /// the whole file — header, all three checksums, all cross-checks —
+    /// the whole file — header, every section checksum, all cross-checks —
     /// verifies.
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         let mut cur = Cursor { bytes, pos: 0 };
@@ -664,19 +834,25 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = cur.u32("format version")?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_QUANT {
             return Err(SnapshotError::UnsupportedVersion { found: version });
         }
         let sections = cur.u32("section count")?;
-        if sections != 3 {
+        let expect_sections = if version == FORMAT_VERSION { 3 } else { 4 };
+        if sections != expect_sections {
             return Err(invalid(format!(
-                "version 1 snapshots have exactly 3 sections, found {sections}"
+                "version {version} snapshots have exactly {expect_sections} sections, found {sections}"
             )));
         }
 
         let meta_payload = cur.section(SectionTag::Meta)?;
         let graph_payload = cur.section(SectionTag::Graph)?;
         let points_payload = cur.section(SectionTag::Points)?;
+        let quant_framed = if version == FORMAT_VERSION_QUANT {
+            Some(cur.quant_section()?)
+        } else {
+            None
+        };
         if cur.pos != bytes.len() {
             return Err(invalid(format!(
                 "{} trailing bytes after the last section",
@@ -687,12 +863,17 @@ impl Snapshot {
         let meta = decode_meta(meta_payload)?;
         let (offsets, targets) = decode_graph(graph_payload, &meta)?;
         let coords = decode_points(points_payload, &meta)?;
+        let quant = match quant_framed {
+            None => None,
+            Some((tag, payload)) => Some(decode_quant(tag, payload, &meta)?),
+        };
 
         let snap = Snapshot {
             meta,
             offsets,
             targets,
             coords,
+            quant,
         };
         snap.validate()?;
         Ok(snap)
@@ -719,10 +900,18 @@ impl Snapshot {
     /// for the on-disk size in `exp_snapshot`.
     pub fn in_memory_bytes(&self) -> u64 {
         let usize_bytes = std::mem::size_of::<usize>() as u64;
+        let quant = match &self.quant {
+            None => 0,
+            Some(QuantSection::F32 { data }) => (data.len() as u64) * 4,
+            Some(QuantSection::Sq8 { mins, steps, codes }) => {
+                (mins.len() as u64) * 8 + (steps.len() as u64) * 8 + codes.len() as u64
+            }
+        };
         (self.offsets.len() as u64) * usize_bytes
             + (self.targets.len() as u64) * 4
             + (self.coords.len() as u64) * 8
             + self.meta.n * 24
+            + quant
     }
 }
 
@@ -776,6 +965,35 @@ impl<'a> Cursor<'a> {
             return Err(SnapshotError::ChecksumMismatch { section: expect });
         }
         Ok(payload)
+    }
+
+    /// Reads the fourth section of a version-2 snapshot, whose tag may be
+    /// either quantized kind: verifies the tag is `PN32` or `PNQ8` and the
+    /// payload checksum, returns the kind and the payload slice.
+    fn quant_section(&mut self) -> Result<(QuantTag, &'a [u8]), SnapshotError> {
+        let tag_bytes = self.take(4, "section tag")?;
+        let tag = if tag_bytes == SectionTag::Points32.bytes() {
+            QuantTag::F32
+        } else if tag_bytes == SectionTag::PointsSq8.bytes() {
+            QuantTag::Sq8
+        } else {
+            return Err(invalid(format!(
+                "expected a quantized section (PN32 or PNQ8), found tag {:?}",
+                tag_bytes
+            )));
+        };
+        let len = self.u64("section length")?;
+        let len: usize = len
+            .try_into()
+            .map_err(|_| invalid("section length exceeds addressable memory"))?;
+        let stored = self.u64("section checksum")?;
+        let payload = self.take(len, "section payload")?;
+        if checksum(payload) != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: tag.section(),
+            });
+        }
+        Ok((tag, payload))
     }
 }
 
@@ -898,6 +1116,117 @@ fn decode_points(payload: &[u8], meta: &IndexMeta) -> Result<Vec<f64>, SnapshotE
         coords.push(f64::from_bits(cur.u64("coordinate")?));
     }
     Ok(coords)
+}
+
+/// Encodes a quantized-points section payload. Both layouts lead with the
+/// same `n: u64` + `dims: u32` counts as `PNTS`, cross-checked against
+/// `META` on read; `PNQ8` then stores `dims` `f64` minima, `dims` `f64`
+/// steps, and `n * dims` code bytes.
+fn encode_quant(quant: &QuantSection, n: u64, dims: u32) -> Vec<u8> {
+    match quant {
+        QuantSection::F32 { data } => {
+            let mut p = Vec::with_capacity(12 + 4 * data.len());
+            push_u64(&mut p, n);
+            push_u32(&mut p, dims);
+            for &c in data {
+                push_u32(&mut p, c.to_bits());
+            }
+            p
+        }
+        QuantSection::Sq8 { mins, steps, codes } => {
+            let mut p = Vec::with_capacity(12 + 16 * mins.len() + codes.len());
+            push_u64(&mut p, n);
+            push_u32(&mut p, dims);
+            for &m in mins {
+                push_f64(&mut p, m);
+            }
+            for &s in steps {
+                push_f64(&mut p, s);
+            }
+            p.extend_from_slice(codes);
+            p
+        }
+    }
+}
+
+fn decode_quant(
+    tag: QuantTag,
+    payload: &[u8],
+    meta: &IndexMeta,
+) -> Result<QuantSection, SnapshotError> {
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let label = tag.section();
+    let n = cur.u64("quantized points n")?;
+    if n != meta.n {
+        return Err(invalid(format!(
+            "{label} section stores n = {n}, META stores n = {}",
+            meta.n
+        )));
+    }
+    let dims = cur.u32("quantized points dims")?;
+    if dims != meta.dims {
+        return Err(invalid(format!(
+            "{label} section stores dims = {dims}, META stores dims = {}",
+            meta.dims
+        )));
+    }
+    let count: usize = n
+        .checked_mul(dims as u64)
+        .and_then(|c| c.try_into().ok())
+        .ok_or_else(|| invalid("n * dims exceeds addressable memory"))?;
+    match tag {
+        QuantTag::F32 => {
+            // Exact-size check before any allocation, as for PNTS.
+            let expect = 12usize
+                .checked_add(
+                    count
+                        .checked_mul(4)
+                        .ok_or_else(|| invalid("PN32 size overflows"))?,
+                )
+                .ok_or_else(|| invalid("PN32 section size overflows"))?;
+            if payload.len() != expect {
+                return Err(invalid(format!(
+                    "PN32 section holds {} bytes, counts imply {expect}",
+                    payload.len()
+                )));
+            }
+            let mut data = Vec::with_capacity(count);
+            for _ in 0..count {
+                data.push(f32::from_bits(cur.u32("f32 coordinate")?));
+            }
+            Ok(QuantSection::F32 { data })
+        }
+        QuantTag::Sq8 => {
+            let dims_usize = dims as usize;
+            let expect = 12usize
+                .checked_add(
+                    dims_usize
+                        .checked_mul(16)
+                        .ok_or_else(|| invalid("PNQ8 parameter size overflows"))?,
+                )
+                .and_then(|b| b.checked_add(count))
+                .ok_or_else(|| invalid("PNQ8 section size overflows"))?;
+            if payload.len() != expect {
+                return Err(invalid(format!(
+                    "PNQ8 section holds {} bytes, counts imply {expect}",
+                    payload.len()
+                )));
+            }
+            let mut mins = Vec::with_capacity(dims_usize);
+            for _ in 0..dims_usize {
+                mins.push(f64::from_bits(cur.u64("sq8 minimum")?));
+            }
+            let mut steps = Vec::with_capacity(dims_usize);
+            for _ in 0..dims_usize {
+                steps.push(f64::from_bits(cur.u64("sq8 step")?));
+            }
+            let codes = cur.take(count, "sq8 codes")?.to_vec();
+            Ok(QuantSection::Sq8 { mins, steps, codes })
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1176,7 +1505,26 @@ mod tests {
             offsets: vec![0, 2, 3, 4],
             targets: vec![1, 2, 0, 0],
             coords: vec![0.0, 0.0, 3.0, 4.0, -1.5, 0.25],
+            quant: None,
         }
+    }
+
+    fn sample_f32() -> Snapshot {
+        let mut snap = sample();
+        snap.quant = Some(QuantSection::F32 {
+            data: snap.coords.iter().map(|&c| c as f32).collect(),
+        });
+        snap
+    }
+
+    fn sample_sq8() -> Snapshot {
+        let mut snap = sample();
+        snap.quant = Some(QuantSection::Sq8 {
+            mins: vec![-1.5, 0.0],
+            steps: vec![4.5 / 255.0, 4.0 / 255.0],
+            codes: vec![85, 0, 255, 255, 0, 16],
+        });
+        snap
     }
 
     #[test]
@@ -1192,6 +1540,124 @@ mod tests {
         snap.meta.build = None;
         let bytes = snap.to_bytes().unwrap();
         assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn plain_snapshots_still_write_version_1_with_three_sections() {
+        let bytes = sample().to_bytes().unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 3);
+    }
+
+    #[test]
+    fn quantized_roundtrips_are_lossless_and_write_version_2() {
+        for snap in [sample_f32(), sample_sq8()] {
+            let bytes = snap.to_bytes().unwrap();
+            assert_eq!(
+                u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+                FORMAT_VERSION_QUANT
+            );
+            assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 4);
+            assert_eq!(Snapshot::from_bytes(&bytes).unwrap(), snap);
+        }
+    }
+
+    #[test]
+    fn quantized_prefix_is_byte_identical_to_the_plain_encoding() {
+        // Append-only evolution: the first three sections of a version-2
+        // file are the version-1 body verbatim (only the header's version
+        // and section count differ).
+        let plain = sample().to_bytes().unwrap();
+        let quant = sample_f32().to_bytes().unwrap();
+        assert_eq!(&quant[16..plain.len()], &plain[16..]);
+    }
+
+    #[test]
+    fn validate_rejects_quant_violations() {
+        let cases: Vec<(&str, Snapshot)> = vec![
+            ("f32 length", {
+                let mut s = sample_f32();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::F32 { data } => data.pop().map(|_| ()).unwrap(),
+                    _ => unreachable!(),
+                }
+                s
+            }),
+            ("f32 non-finite", {
+                let mut s = sample_f32();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::F32 { data } => data[0] = f32::NAN,
+                    _ => unreachable!(),
+                }
+                s
+            }),
+            ("sq8 mins length", {
+                let mut s = sample_sq8();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::Sq8 { mins, .. } => mins.push(0.0),
+                    _ => unreachable!(),
+                }
+                s
+            }),
+            ("sq8 steps length", {
+                let mut s = sample_sq8();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::Sq8 { steps, .. } => steps.pop().map(|_| ()).unwrap(),
+                    _ => unreachable!(),
+                }
+                s
+            }),
+            ("sq8 codes length", {
+                let mut s = sample_sq8();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::Sq8 { codes, .. } => codes.push(0),
+                    _ => unreachable!(),
+                }
+                s
+            }),
+            ("sq8 non-finite min", {
+                let mut s = sample_sq8();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::Sq8 { mins, .. } => mins[0] = f64::INFINITY,
+                    _ => unreachable!(),
+                }
+                s
+            }),
+            ("sq8 negative step", {
+                let mut s = sample_sq8();
+                match s.quant.as_mut().unwrap() {
+                    QuantSection::Sq8 { steps, .. } => steps[1] = -1.0,
+                    _ => unreachable!(),
+                }
+                s
+            }),
+        ];
+        for (name, bad) in cases {
+            let err = bad.validate().unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Invalid { .. }),
+                "case {name}: got {err:?}"
+            );
+            assert!(bad.to_bytes().is_err(), "case {name}: to_bytes accepted");
+        }
+    }
+
+    #[test]
+    fn quant_mismatch_display_spells_out_both_directions() {
+        let plain_on_quant = SnapshotError::QuantMismatch {
+            found: Some(QuantTag::Sq8),
+        };
+        assert!(plain_on_quant.to_string().contains("plain loader"));
+        assert!(plain_on_quant.to_string().contains("sq8"));
+        let quant_on_plain = SnapshotError::QuantMismatch { found: None };
+        assert!(quant_on_plain.to_string().contains("quantized loader"));
+    }
+
+    #[test]
+    fn in_memory_bytes_adds_the_quant_store() {
+        let base = sample().in_memory_bytes();
+        assert_eq!(sample_f32().in_memory_bytes(), base + 6 * 4);
+        assert_eq!(sample_sq8().in_memory_bytes(), base + 2 * 8 + 2 * 8 + 6);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! `pg_core::snapshot`'s tests, closer to the trait that raises it).
 
 use pg_store::{
-    checksum, BuildParams, IndexMeta, MetricTag, SectionTag, Snapshot, SnapshotError, HEADER_LEN,
-    SECTION_HEADER_LEN,
+    checksum, BuildParams, IndexMeta, MetricTag, QuantSection, QuantTag, SectionTag, Snapshot,
+    SnapshotError, HEADER_LEN, SECTION_HEADER_LEN,
 };
 
 fn sample() -> Snapshot {
@@ -29,6 +29,7 @@ fn sample() -> Snapshot {
         offsets: vec![0, 2, 4, 5, 6],
         targets: vec![1, 3, 0, 2, 1, 0],
         coords: (0..12).map(|i| i as f64 * 0.5 - 2.0).collect(),
+        quant: None,
     }
 }
 
@@ -197,6 +198,206 @@ fn trailing_garbage_is_invalid() {
         }
         other => panic!("got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Version-2 (quantized) snapshots get the full corruption treatment too:
+// every truncation offset, every flipped payload byte, every structural
+// cross-check, and the loader-direction mismatches — all typed, no panics.
+// ---------------------------------------------------------------------------
+
+/// The [`sample`] snapshot carrying an `f32` compact section (format v2).
+fn sample_f32() -> Snapshot {
+    let mut snap = sample();
+    snap.quant = Some(QuantSection::F32 {
+        data: snap.coords.iter().map(|&c| c as f32).collect(),
+    });
+    snap
+}
+
+/// The [`sample`] snapshot carrying an SQ8 compact section (format v2).
+fn sample_sq8() -> Snapshot {
+    let mut snap = sample();
+    snap.quant = Some(QuantSection::Sq8 {
+        mins: vec![-2.0, -1.5, -1.0],
+        steps: vec![4.0 / 255.0, 4.5 / 255.0, 5.0 / 255.0],
+        codes: (0..12).map(|i| (i * 21) as u8).collect(),
+    });
+    snap
+}
+
+/// Both quantized fixtures as `(tag, bytes)` pairs.
+fn quant_fixtures() -> [(QuantTag, Vec<u8>); 2] {
+    [
+        (QuantTag::F32, sample_f32().to_bytes().unwrap()),
+        (QuantTag::Sq8, sample_sq8().to_bytes().unwrap()),
+    ]
+}
+
+/// Byte offset where section `idx` (0-based) starts, by walking the frames.
+fn section_start(bytes: &[u8], idx: usize) -> usize {
+    let mut pos = HEADER_LEN;
+    for _ in 0..idx {
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        pos += SECTION_HEADER_LEN + len;
+    }
+    pos
+}
+
+/// Patches section `idx`'s payload at `offset` and re-stamps that section's
+/// checksum, so the mutation reaches the structural decoder.
+fn patch_section(bytes: &mut [u8], idx: usize, offset: usize, value: &[u8]) {
+    let start = section_start(bytes, idx);
+    let payload = start + SECTION_HEADER_LEN;
+    bytes[payload + offset..payload + offset + value.len()].copy_from_slice(value);
+    let len = u64::from_le_bytes(bytes[start + 4..start + 12].try_into().unwrap()) as usize;
+    let sum = checksum(&bytes[payload..payload + len]);
+    bytes[start + 12..start + 20].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn every_truncation_point_of_a_quantized_snapshot_is_typed() {
+    for (tag, bytes) in quant_fixtures() {
+        for len in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..len])
+                .expect_err(&format!("{tag}: prefix of {len} bytes parsed"));
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "{tag}: prefix of {len} bytes: got {err:?}"
+            );
+        }
+        let full = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(full.quant.as_ref().unwrap().tag(), tag);
+    }
+}
+
+#[test]
+fn every_flipped_payload_byte_of_a_quantized_snapshot_is_caught() {
+    for (tag, bytes) in quant_fixtures() {
+        let quant_section = tag.section();
+        let expect = [
+            SectionTag::Meta,
+            SectionTag::Graph,
+            SectionTag::Points,
+            quant_section,
+        ];
+        let mut pos = HEADER_LEN;
+        for section in expect {
+            let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            let payload = pos + SECTION_HEADER_LEN;
+            for i in 0..len {
+                let mut bad = bytes.clone();
+                bad[payload + i] ^= 0x40;
+                match Snapshot::from_bytes(&bad) {
+                    Err(SnapshotError::ChecksumMismatch { section: got }) => {
+                        assert_eq!(got, section, "{tag}: byte {i} of {section:?}")
+                    }
+                    other => panic!("{tag}: flipped byte {i} of {section:?}: got {other:?}"),
+                }
+            }
+            pos = payload + len;
+        }
+    }
+}
+
+#[test]
+fn quant_section_count_cross_checks_are_invalid_not_panics() {
+    for (tag, bytes) in quant_fixtures() {
+        // The quant payload's own n disagrees with META's.
+        let mut bad_n = bytes.clone();
+        patch_section(&mut bad_n, 3, 0, &9u64.to_le_bytes());
+        match Snapshot::from_bytes(&bad_n) {
+            Err(SnapshotError::Invalid { reason }) => {
+                assert!(reason.contains("n = "), "{tag}: reason: {reason}")
+            }
+            other => panic!("{tag}: bad quant n: got {other:?}"),
+        }
+        // ...and so does its dims.
+        let mut bad_d = bytes.clone();
+        patch_section(&mut bad_d, 3, 8, &7u32.to_le_bytes());
+        match Snapshot::from_bytes(&bad_d) {
+            Err(SnapshotError::Invalid { reason }) => {
+                assert!(reason.contains("dims"), "{tag}: reason: {reason}")
+            }
+            other => panic!("{tag}: bad quant dims: got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn retagging_the_quant_section_is_invalid_not_a_panic() {
+    // Swapping the 4th section's tag (frame checksum intact — the tag is
+    // not checksum-covered) makes the payload size wrong for the claimed
+    // representation: a structural error, never an out-of-bounds read.
+    for (tag, bytes) in quant_fixtures() {
+        let other_tag = match tag {
+            QuantTag::F32 => SectionTag::PointsSq8,
+            QuantTag::Sq8 => SectionTag::Points32,
+        };
+        let start = section_start(&bytes, 3);
+        let mut bad = bytes.clone();
+        bad[start..start + 4].copy_from_slice(&other_tag.bytes());
+        match Snapshot::from_bytes(&bad) {
+            Err(SnapshotError::Invalid { reason }) => {
+                assert!(
+                    reason.contains("bytes") || reason.contains("payload"),
+                    "{tag}: reason: {reason}"
+                )
+            }
+            other => panic!("{tag}: retagged section: got {other:?}"),
+        }
+        // A non-quant tag in the 4th slot is rejected by name.
+        let mut nonq = bytes.clone();
+        nonq[start..start + 4].copy_from_slice(&SectionTag::Meta.bytes());
+        match Snapshot::from_bytes(&nonq) {
+            Err(SnapshotError::Invalid { reason }) => {
+                assert!(
+                    reason.contains("quantized section"),
+                    "{tag}: reason: {reason}"
+                )
+            }
+            other => panic!("{tag}: META in quant slot: got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn version_and_section_count_must_agree() {
+    // A v2 body with the version byte rewritten to 1 (and vice versa) is a
+    // structural error: the version dictates the exact section count.
+    let (_, quant_bytes) = &quant_fixtures()[0];
+    let mut v1_with_quant = quant_bytes.clone();
+    v1_with_quant[8..12].copy_from_slice(&1u32.to_le_bytes());
+    match Snapshot::from_bytes(&v1_with_quant) {
+        Err(SnapshotError::Invalid { reason }) => {
+            assert!(reason.contains("sections"), "reason: {reason}")
+        }
+        other => panic!("v1 header on v2 body: got {other:?}"),
+    }
+
+    let mut v2_without_quant = sample_bytes();
+    v2_without_quant[8..12].copy_from_slice(&2u32.to_le_bytes());
+    match Snapshot::from_bytes(&v2_without_quant) {
+        Err(SnapshotError::Invalid { reason }) => {
+            assert!(reason.contains("sections"), "reason: {reason}")
+        }
+        other => panic!("v2 header on v1 body: got {other:?}"),
+    }
+}
+
+#[test]
+fn quantized_bytes_carry_the_tag_for_typed_loaders_to_catch() {
+    // The byte layer parses a quantized snapshot happily — the plain-vs-
+    // quantized loader mismatch is typed one level up (QueryEngine::load
+    // raises QuantMismatch{found: Some(tag)}, load_quantized raises
+    // QuantMismatch{found: None}; see pg_core::snapshot's tests). Here we
+    // pin that the parsed value carries exactly what those loaders match on.
+    for (tag, bytes) in quant_fixtures() {
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.quant.as_ref().unwrap().tag(), tag);
+    }
+    let plain = Snapshot::from_bytes(&sample_bytes()).unwrap();
+    assert!(plain.quant.is_none());
 }
 
 #[test]
